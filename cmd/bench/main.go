@@ -1,0 +1,739 @@
+// Command bench regenerates every experiment of EXPERIMENTS.md: the
+// exact-reproduction artifacts E1–E7 (the paper's worked example, checked
+// against the expected sets) and the quantitative tables B1–B8
+// (query-guided vs exhaustive discovery, scalability, corruption sweeps).
+//
+// Usage:
+//
+//	bench -run all            # everything
+//	bench -run E3,B2          # a selection
+//	bench -list               # show the experiment registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dbre"
+	"dbre/internal/appscan"
+	"dbre/internal/core"
+	"dbre/internal/expert"
+	"dbre/internal/fd"
+	"dbre/internal/ind"
+	"dbre/internal/paperex"
+	"dbre/internal/relation"
+	"dbre/internal/table"
+	"dbre/internal/value"
+	"dbre/internal/workload"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(io.Writer) error
+}
+
+func registry() []experiment {
+	return []experiment{
+		{"E1", "Section 5 constraint sets K and N", runE1},
+		{"E2", "Section 5 equi-join set Q from application programs", runE2},
+		{"E3", "Section 6.1 inclusion dependencies (IND-Discovery)", runE3},
+		{"E4", "Section 6.2.1 candidate LHS and hidden objects", runE4},
+		{"E5", "Section 6.2.2 functional dependencies and final H", runE5},
+		{"E6", "Section 7 restructured 3NF schema and RIC", runE6},
+		{"E7", "Figure 1 EER schema (Translate)", runE7},
+		{"B1", "IND-Discovery scalability in |E| and |Q|", runB1},
+		{"B2", "query-guided vs exhaustive IND discovery", runB2},
+		{"B3", "hash-grouping vs naive FD check", runB3},
+		{"B4", "RHS-Discovery vs TANE-style exhaustive FD discovery", runB4},
+		{"B5", "application-program scanning throughput", runB5},
+		{"B6", "end-to-end pipeline scalability and recovery quality", runB6},
+		{"B7", "corruption sweep: NEIs, expert load, recall", runB7},
+		{"B8", "Restruct+Translate cost vs dependency count", runB8},
+		{"A1", "ablation: transitive equality closure on/off", runA1},
+		{"A2", "ablation: auto-expert inclusion slack sweep on dirty data", runA2},
+		{"A3", "ablation: key inference on keyless dictionaries", runA3},
+	}
+}
+
+func main() {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	runList := fs.String("run", "all", "comma-separated experiment ids, or all")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	exps := registry()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-3s %s\n", e.id, e.title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	all := *runList == "all"
+	for _, id := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(strings.ToUpper(id))] = true
+	}
+	ran := 0
+	for _, e := range exps {
+		if !all && !want[e.id] {
+			continue
+		}
+		ran++
+		fmt.Printf("\n=== %s: %s ===\n", e.id, e.title)
+		start := time.Now()
+		if err := e.run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v ---\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched; use -list")
+		os.Exit(2)
+	}
+}
+
+// compare prints got vs want line sets with a PASS/FAIL verdict.
+func compare(w io.Writer, label string, got, want []string) error {
+	sort.Strings(got)
+	sort.Strings(want)
+	ok := len(got) == len(want)
+	if ok {
+		for i := range got {
+			if got[i] != want[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	verdict := "PASS"
+	if !ok {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "%s (%d items) [%s]\n", label, len(got), verdict)
+	for _, g := range got {
+		fmt.Fprintf(w, "  %s\n", g)
+	}
+	if !ok {
+		fmt.Fprintf(w, "expected:\n")
+		for _, x := range want {
+			fmt.Fprintf(w, "  %s\n", x)
+		}
+		return fmt.Errorf("%s does not match the paper", label)
+	}
+	return nil
+}
+
+func runE1(w io.Writer) error {
+	db, err := dbre.LoadSQL(paperex.DDL)
+	if err != nil {
+		return err
+	}
+	var ks []string
+	for _, k := range db.Catalog().Keys() {
+		ks = append(ks, k.String())
+	}
+	if err := compare(w, "K", ks, []string{
+		"Assignment.{dep, emp, proj}", "Department.dep", "HEmployee.{date, no}", "Person.id",
+	}); err != nil {
+		return err
+	}
+	var ns []string
+	for _, n := range db.Catalog().NotNulls() {
+		ns = append(ns, n.String())
+	}
+	return compare(w, "N", ns, []string{
+		"Assignment.dep", "Assignment.emp", "Assignment.proj",
+		"Department.dep", "Department.location",
+		"HEmployee.date", "HEmployee.no", "Person.id",
+	})
+}
+
+func runE2(w io.Writer) error {
+	db := paperex.Database()
+	q, rep := dbre.ScanPrograms(db, paperex.Programs)
+	fmt.Fprintf(w, "scanned %d programs (%d statements, %d parse failures)\n",
+		rep.FilesScanned, rep.StatementsFound, rep.ParseFailures)
+	var got []string
+	for _, j := range q.Sorted() {
+		got = append(got, j.String())
+	}
+	var want []string
+	for _, j := range paperex.Q().Sorted() {
+		want = append(want, j.String())
+	}
+	return compare(w, "Q", got, want)
+}
+
+// paperRun drives the scripted paper session through the pipeline.
+func paperRun() (*core.Report, error) {
+	db := paperex.Database()
+	return core.RunWithQ(db, paperex.Q(), core.Options{Oracle: paperex.Oracle()}, nil)
+}
+
+func runE3(w io.Writer) error {
+	db := paperex.Database()
+	res, err := ind.Discover(db, paperex.Q(), paperex.Oracle())
+	if err != nil {
+		return err
+	}
+	for _, o := range res.Outcomes {
+		fmt.Fprintf(w, "  %s\n", o)
+	}
+	var got []string
+	for _, d := range res.INDs.Sorted() {
+		got = append(got, d.String())
+	}
+	return compare(w, "IND", got, paperex.ExpectedINDs())
+}
+
+func runE4(w io.Writer) error {
+	rep, err := paperRun()
+	if err != nil {
+		return err
+	}
+	var lhs []string
+	for _, l := range rep.LHS.LHS {
+		lhs = append(lhs, l.String())
+	}
+	if err := compare(w, "LHS", lhs, paperex.ExpectedLHS()); err != nil {
+		return err
+	}
+	var h []string
+	for _, x := range rep.LHS.Hidden {
+		h = append(h, x.String())
+	}
+	return compare(w, "H (after LHS-Discovery)", h, paperex.ExpectedHAfterLHS())
+}
+
+func runE5(w io.Writer) error {
+	rep, err := paperRun()
+	if err != nil {
+		return err
+	}
+	var fds []string
+	for _, f := range rep.RHS.FDs {
+		fds = append(fds, f.String())
+	}
+	if err := compare(w, "F", fds, paperex.ExpectedFDs()); err != nil {
+		return err
+	}
+	var h []string
+	for _, x := range rep.RHS.Hidden {
+		h = append(h, x.String())
+	}
+	return compare(w, "H (final)", h, paperex.ExpectedHFinal())
+}
+
+func runE6(w io.Writer) error {
+	db := paperex.Database()
+	rep, err := core.RunWithQ(db, paperex.Q(), core.Options{Oracle: paperex.Oracle()}, nil)
+	if err != nil {
+		return err
+	}
+	var schemas []string
+	for _, s := range db.Catalog().Schemas() {
+		schemas = append(schemas, s.String())
+	}
+	if err := compare(w, "restructured schema", schemas, paperex.ExpectedSchemas()); err != nil {
+		return err
+	}
+	var ric []string
+	for _, d := range rep.Restruct.RIC {
+		ric = append(ric, d.String())
+	}
+	return compare(w, "RIC", ric, paperex.ExpectedRIC())
+}
+
+func runE7(w io.Writer) error {
+	rep, err := paperRun()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, rep.EER.Text())
+	var ent []string
+	for _, e := range rep.EER.Entities {
+		name := e.Name
+		if e.Weak {
+			name += " (weak)"
+		}
+		ent = append(ent, name)
+	}
+	if err := compare(w, "entity-types", ent, []string{
+		"Ass-Dept", "Department", "Employee", "HEmployee (weak)",
+		"Manager", "Other-Dept", "Person", "Project",
+	}); err != nil {
+		return err
+	}
+	var rel []string
+	for _, r := range rep.EER.Relationships {
+		rel = append(rel, fmt.Sprintf("%s/%d-ary", r.Name, len(r.Participants)))
+	}
+	if err := compare(w, "relationship-types", rel, []string{
+		"Assignment/3-ary", "Department-Manager/2-ary", "Manager-Project/2-ary",
+	}); err != nil {
+		return err
+	}
+	var isa []string
+	for _, l := range rep.EER.ISA {
+		isa = append(isa, l.Sub+" is-a "+l.Super)
+	}
+	return compare(w, "is-a links", isa, []string{
+		"Ass-Dept is-a Department", "Ass-Dept is-a Other-Dept",
+		"Employee is-a Person", "Manager is-a Employee",
+	})
+}
+
+// printTable prints an aligned table.
+func printTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func mustWorkload(spec workload.Spec) *workload.Workload {
+	w, err := workload.Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func runB1(w io.Writer) error {
+	var rows [][]string
+	for _, tuples := range []int{1000, 10000, 100000} {
+		spec := workload.DefaultSpec(42)
+		spec.FactRows = tuples
+		wl := mustWorkload(spec)
+		q, _ := dbre.ScanPrograms(wl.DB, wl.Programs)
+		start := time.Now()
+		res, err := ind.Discover(wl.DB, q, expert.Deny{})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(tuples), fmt.Sprint(q.Len()), fmt.Sprint(res.INDs.Len()),
+			fmt.Sprint(res.ExtensionQueries), time.Since(start).Round(time.Microsecond).String(),
+		})
+	}
+	printTable(w, []string{"tuples/fact", "|Q|", "INDs", "ext queries", "wall"}, rows)
+	rows = nil
+	for _, facts := range []int{2, 8, 16} {
+		spec := workload.DefaultSpec(42)
+		spec.Facts = facts
+		spec.Dimensions = facts + 2
+		spec.FactRows = 5000
+		wl := mustWorkload(spec)
+		q, _ := dbre.ScanPrograms(wl.DB, wl.Programs)
+		start := time.Now()
+		res, err := ind.Discover(wl.DB, q, expert.Deny{})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(facts), fmt.Sprint(q.Len()), fmt.Sprint(res.INDs.Len()),
+			fmt.Sprint(res.ExtensionQueries), time.Since(start).Round(time.Microsecond).String(),
+		})
+	}
+	printTable(w, []string{"facts", "|Q|", "INDs", "ext queries", "wall"}, rows)
+	return nil
+}
+
+func runB2(w io.Writer) error {
+	var rows [][]string
+	for _, dims := range []int{4, 8, 16} {
+		spec := workload.DefaultSpec(42)
+		spec.Dimensions = dims
+		spec.FactRows = 10000
+		wl := mustWorkload(spec)
+		q, _ := dbre.ScanPrograms(wl.DB, wl.Programs)
+
+		start := time.Now()
+		guided, err := ind.Discover(wl.DB, q, expert.Deny{})
+		if err != nil {
+			return err
+		}
+		guidedTime := time.Since(start)
+
+		start = time.Now()
+		exh, err := ind.DiscoverBaseline(wl.DB, ind.DefaultBaselineOptions())
+		if err != nil {
+			return err
+		}
+		exhTime := time.Since(start)
+
+		missed := 0
+		for _, d := range guided.INDs.All() {
+			if !exh.INDs.Contains(d) {
+				missed++
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(dims),
+			fmt.Sprint(guided.ExtensionQueries), guidedTime.Round(time.Microsecond).String(),
+			fmt.Sprint(exh.CandidatesTested), fmt.Sprint(ind.CandidateSpace(wl.DB)),
+			exhTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", float64(exhTime)/float64(guidedTime)),
+			fmt.Sprint(missed),
+		})
+	}
+	printTable(w, []string{"dims", "guided queries", "guided wall",
+		"exh tests", "exh space", "exh wall", "speedup", "guided∖exh"}, rows)
+	fmt.Fprintln(w, "  (guided∖exh = guided findings the exhaustive run missed; expect 0)")
+	return nil
+}
+
+func runB3(w io.Writer) error {
+	var rows [][]string
+	for _, tuples := range []int{100, 1000, 10000, 100000} {
+		tab := makeFDTable(tuples)
+		start := time.Now()
+		if _, err := fd.Check(tab, []string{"a"}, "b"); err != nil {
+			return err
+		}
+		hash := time.Since(start)
+		naive := time.Duration(0)
+		if tuples <= 10000 {
+			start = time.Now()
+			if _, err := fd.CheckNaive(tab, []string{"a"}, "b"); err != nil {
+				return err
+			}
+			naive = time.Since(start)
+		}
+		naiveStr := "skipped"
+		if naive > 0 {
+			naiveStr = naive.Round(time.Microsecond).String()
+		}
+		rows = append(rows, []string{fmt.Sprint(tuples),
+			hash.Round(time.Microsecond).String(), naiveStr})
+	}
+	printTable(w, []string{"tuples", "hash check", "naive check"}, rows)
+	return nil
+}
+
+func runB4(w io.Writer) error {
+	var rows [][]string
+	for _, dims := range []int{4, 6, 8} {
+		spec := workload.DefaultSpec(42)
+		spec.Dimensions = dims
+		spec.FactRows = 5000
+		wl := mustWorkload(spec)
+		var lhs []relation.Ref
+		for _, l := range wl.Truth.Links {
+			lhs = append(lhs, relation.NewRef(l.Fact, l.FK))
+		}
+		start := time.Now()
+		guided, err := fd.DiscoverRHS(wl.DB, lhs, nil, expert.Deny{})
+		if err != nil {
+			return err
+		}
+		gTime := time.Since(start)
+		start = time.Now()
+		tane, err := fd.DiscoverBaselineAll(wl.DB, fd.BaselineOptions{MaxLHS: 2})
+		if err != nil {
+			return err
+		}
+		tTime := time.Since(start)
+		rows = append(rows, []string{
+			fmt.Sprint(dims),
+			fmt.Sprint(guided.ExtensionChecks), fmt.Sprint(len(guided.FDs)),
+			gTime.Round(time.Microsecond).String(),
+			fmt.Sprint(tane.CandidatesTested), fmt.Sprint(len(tane.FDs)),
+			tTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", float64(tTime)/float64(gTime)),
+		})
+	}
+	printTable(w, []string{"dims", "guided checks", "guided FDs", "guided wall",
+		"TANE tests", "TANE FDs", "TANE wall", "speedup"}, rows)
+	fmt.Fprintln(w, "  (TANE finds every minimal FD incl. coincidences; guided finds the navigated ones)")
+	return nil
+}
+
+func runB5(w io.Writer) error {
+	var rows [][]string
+	for _, per := range []int{1, 4, 16} {
+		spec := workload.DefaultSpec(7)
+		spec.ProgramsPerJoin = per
+		spec.FactRows = 10
+		wl := mustWorkload(spec)
+		bytes := 0
+		for _, src := range wl.Programs {
+			bytes += len(src)
+		}
+		start := time.Now()
+		q, rep := dbre.ScanPrograms(wl.DB, wl.Programs)
+		wall := time.Since(start)
+		mbps := float64(bytes) / wall.Seconds() / 1e6
+		rows = append(rows, []string{
+			fmt.Sprint(len(wl.Programs)), fmt.Sprint(bytes),
+			fmt.Sprint(rep.StatementsFound), fmt.Sprint(q.Len()),
+			wall.Round(time.Microsecond).String(), fmt.Sprintf("%.1f", mbps),
+		})
+	}
+	printTable(w, []string{"programs", "bytes", "statements", "|Q|", "wall", "MB/s"}, rows)
+	return nil
+}
+
+func runB6(w io.Writer) error {
+	var rows [][]string
+	for _, tuples := range []int{1000, 10000, 50000} {
+		spec := workload.DefaultSpec(42)
+		spec.FactRows = tuples
+		wl := mustWorkload(spec)
+		auto := expert.NewAuto()
+		auto.ConceptualizeNEI = false
+		start := time.Now()
+		rep, err := core.Run(wl.DB, wl.Programs, core.Options{Oracle: auto, TransitiveClosure: true})
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		score := core.Evaluate(rep, wl.Truth)
+		rows = append(rows, []string{
+			fmt.Sprint(tuples), wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", score.INDPrecision), fmt.Sprintf("%.2f", score.INDRecall),
+			fmt.Sprintf("%.2f", score.FDPrecision), fmt.Sprintf("%.2f", score.FDRecall),
+			fmt.Sprintf("%.2f", score.HiddenRecall),
+		})
+	}
+	printTable(w, []string{"tuples/fact", "wall", "IND P", "IND R", "FD P", "FD R", "hidden R"}, rows)
+	return nil
+}
+
+func runB7(w io.Writer) error {
+	var rows [][]string
+	for _, pct := range []float64{0, 0.001, 0.01, 0.05} {
+		spec := workload.DefaultSpec(42)
+		spec.Corruption = pct
+		// Strict expert: refuses to force anything.
+		wlStrict := mustWorkload(spec)
+		repS, err := core.Run(wlStrict.DB, wlStrict.Programs, core.Options{Oracle: expert.Deny{}, TransitiveClosure: true})
+		if err != nil {
+			return err
+		}
+		sS := core.Evaluate(repS, wlStrict.Truth)
+		// Tolerant expert: forces near-inclusions.
+		wlTol := mustWorkload(spec)
+		auto := expert.NewAuto()
+		auto.InclusionSlack = 0.90
+		auto.ConceptualizeNEI = false
+		repT, err := core.Run(wlTol.DB, wlTol.Programs, core.Options{Oracle: auto, TransitiveClosure: true})
+		if err != nil {
+			return err
+		}
+		sT := core.Evaluate(repT, wlTol.Truth)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f%%", pct*100),
+			fmt.Sprint(sS.ExpertConsultations),
+			fmt.Sprintf("%.2f", sS.INDRecall),
+			fmt.Sprintf("%.2f", sT.INDRecall),
+			fmt.Sprintf("%.2f", sT.FDRecall),
+		})
+	}
+	printTable(w, []string{"corruption", "NEI escalations", "IND R (strict)", "IND R (tolerant)", "FD R"}, rows)
+	return nil
+}
+
+func runB8(w io.Writer) error {
+	var rows [][]string
+	for _, dims := range []int{8, 16, 32} {
+		spec := workload.DefaultSpec(42)
+		spec.Dimensions = dims
+		spec.Facts = dims / 2
+		spec.FKsPerFact = 3
+		spec.FactRows = 2000
+		spec.EmbedProb = 0.9
+		wl := mustWorkload(spec)
+		rep, err := core.Run(wl.DB, wl.Programs, core.Options{Oracle: expert.Deny{}, TransitiveClosure: true})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(dims),
+			fmt.Sprint(len(rep.RHS.FDs)), fmt.Sprint(rep.IND.INDs.Len()),
+			fmt.Sprint(len(rep.Restruct.RIC)),
+			rep.Timings["restruct"].Round(time.Microsecond).String(),
+			rep.Timings["translate"].Round(time.Microsecond).String(),
+		})
+	}
+	printTable(w, []string{"dims", "FDs", "INDs", "RICs", "restruct wall", "translate wall"}, rows)
+	return nil
+}
+
+// makeFDTable builds R(a,b,c) with `tuples` rows where a → b holds.
+func makeFDTable(tuples int) *table.Table {
+	s := relation.MustSchema("R", []relation.Attribute{
+		{Name: "a", Type: value.KindInt},
+		{Name: "b", Type: value.KindInt},
+		{Name: "c", Type: value.KindInt},
+	})
+	tab := table.New(s)
+	for i := 0; i < tuples; i++ {
+		tab.MustInsert(table.Row{
+			value.NewInt(int64(i % 500)),
+			value.NewInt(int64(i % 500 * 3)),
+			value.NewInt(int64(i)),
+		})
+	}
+	return tab
+}
+
+// runA1 measures the effect of transitive equality closure: with chains
+// a=b AND b=c in the programs, closure adds the implied joins (and thus
+// IND candidates) for free.
+func runA1(w io.Writer) error {
+	var rows [][]string
+	for _, closure := range []bool{false, true} {
+		spec := workload.DefaultSpec(42)
+		spec.FactRows = 2000
+		wl := mustWorkload(spec)
+		// Add a chain program: two facts referencing the same surviving
+		// dimension, joined through it.
+		var chainL, chainR workload.Link
+		found := false
+		for i, a := range wl.Truth.Links {
+			if a.Dropped {
+				continue
+			}
+			for _, b := range wl.Truth.Links[i+1:] {
+				if !b.Dropped && a.Dim == b.Dim && a.Fact != b.Fact {
+					chainL, chainR, found = a, b, true
+				}
+			}
+		}
+		if !found {
+			fmt.Fprintln(w, "  (no shared surviving dimension in this seed; chain skipped)")
+		} else {
+			wl.Programs["chain.sql"] = fmt.Sprintf(
+				"SELECT x.%s FROM %s x, %s d, %s y WHERE x.%s = d.%s AND d.%s = y.%s;",
+				chainL.FK, chainL.Fact, chainL.Dim, chainR.Fact,
+				chainL.FK, chainL.DimKey, chainR.DimKey, chainR.FK)
+		}
+		var snippets []appscan.Snippet
+		var rep appscan.Report
+		names := make([]string, 0, len(wl.Programs))
+		for n := range wl.Programs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			snippets = append(snippets, appscan.ScanSource(n, wl.Programs[n], &rep)...)
+		}
+		ex := appscan.NewExtractor(wl.DB.Catalog())
+		ex.TransitiveClosure = closure
+		q := ex.ExtractQ(snippets)
+		res, err := ind.Discover(wl.DB, q, expert.Deny{})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(closure), fmt.Sprint(q.Len()), fmt.Sprint(res.INDs.Len()),
+		})
+	}
+	printTable(w, []string{"closure", "|Q|", "INDs"}, rows)
+	fmt.Fprintln(w, "  (closure materializes the implied fact-fact join of every")
+	fmt.Fprintln(w, "   a=b AND b=c chain, yielding extra interrelation evidence)")
+	return nil
+}
+
+// runA2 sweeps the auto expert's near-inclusion threshold on a corrupted
+// extension: stricter thresholds refuse to overrule the data and lose
+// recall; looser ones force more INDs, trading in precision risk.
+func runA2(w io.Writer) error {
+	var rows [][]string
+	for _, slack := range []float64{1.0, 0.99, 0.95, 0.90, 0.75} {
+		spec := workload.DefaultSpec(42)
+		spec.Corruption = 0.02
+		wl := mustWorkload(spec)
+		auto := expert.NewAuto()
+		auto.InclusionSlack = slack
+		auto.ConceptualizeNEI = false
+		rep, err := core.Run(wl.DB, wl.Programs, core.Options{Oracle: auto, TransitiveClosure: true})
+		if err != nil {
+			return err
+		}
+		score := core.Evaluate(rep, wl.Truth)
+		forced := 0
+		for _, o := range rep.IND.Outcomes {
+			if o.Case == ind.CaseNEIForced {
+				forced++
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", slack), fmt.Sprint(forced),
+			fmt.Sprintf("%.2f", score.INDPrecision), fmt.Sprintf("%.2f", score.INDRecall),
+		})
+	}
+	printTable(w, []string{"slack", "forced INDs", "IND P", "IND R"}, rows)
+	return nil
+}
+
+// runA3 strips every declared key from the paper schema and reruns the
+// session with data-driven key inference.
+func runA3(w io.Writer) error {
+	db := paperex.Database()
+	bare := db.Catalog().Clone()
+	for _, s := range bare.Schemas() {
+		s.Uniques = nil
+	}
+	db2 := table.NewDatabase(bare)
+	for _, name := range bare.Names() {
+		from := db.MustTable(name)
+		to := db2.MustTable(name)
+		for i := 0; i < from.Len(); i++ {
+			if err := to.Insert(from.Row(i).Clone()); err != nil {
+				return err
+			}
+		}
+	}
+	rep, err := core.RunWithQ(db2, paperex.Q(),
+		core.Options{Oracle: paperex.Oracle(), InferKeys: true}, nil)
+	if err != nil {
+		return err
+	}
+	var inferred []string
+	for _, k := range rep.InferredKeys {
+		inferred = append(inferred, k.String())
+	}
+	fmt.Fprintf(w, "inferred keys on the keyless dictionary:\n")
+	for _, k := range inferred {
+		fmt.Fprintf(w, "  %s\n", k)
+	}
+	fmt.Fprintf(w, "pipeline then elicits %d INDs, %d FDs, %d RICs\n",
+		rep.IND.INDs.Len(), len(rep.RHS.FDs), len(rep.Restruct.RIC))
+	if len(inferred) != 4 {
+		return fmt.Errorf("expected 4 inferred keys, got %v", inferred)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbre"
+)
+
+func TestGenerateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{
+		"-out", dir, "-seed", "3", "-dims", "4", "-facts", "2",
+		"-rows", "200", "-dim-rows", "40", "-programs", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "generated") {
+		t.Errorf("summary missing: %s", out.String())
+	}
+	// The emitted artifacts load back and the pipeline runs on them.
+	db, err := dbre.LoadSQLFile(filepath.Join(dir, "schema.sql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dbre.LoadCSVDir(db, filepath.Join(dir, "data")); err != nil {
+		t.Fatal(err)
+	}
+	if db.TotalRows() == 0 {
+		t.Fatal("no data loaded")
+	}
+	q, rep, err := dbre.ScanProgramsDir(db, filepath.Join(dir, "programs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ParseFailures != 0 {
+		t.Errorf("parse failures in generated programs: %v", rep.FailureSamples)
+	}
+	if q.Len() == 0 {
+		t.Error("no joins extracted from generated programs")
+	}
+	report, err := dbre.ReverseWithQ(db, q, dbre.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.IND.INDs.Len() == 0 {
+		t.Error("pipeline found nothing on generated artifacts")
+	}
+	// Ground-truth file mentions both dependency kinds.
+	truth, err := os.ReadFile(filepath.Join(dir, "truth.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(truth), "expected inclusion dependencies") {
+		t.Error("truth.txt malformed")
+	}
+}
+
+func TestGenerateCorrupted(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-out", dir, "-corruption", "0.1", "-rows", "100", "-dim-rows", "20"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading tolerates nothing to tolerate (corruption is dangling FKs,
+	// not constraint violations), but the files must exist.
+	if _, err := os.Stat(filepath.Join(dir, "data")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-out", "/dev/null/impossible"}, &out); err == nil {
+		t.Error("uncreatable dir accepted")
+	}
+	if err := run([]string{"-out", t.TempDir(), "-dims", "0"}, &out); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Command dbre reverse-engineers a denormalized relational database: it
+// reads a legacy schema (DDL), its extension (CSV files or INSERT
+// statements) and the application programs written against it, runs the
+// full elicitation and restructuring pipeline, and prints the restructured
+// 3NF schema, the referential integrity constraints and the EER schema.
+//
+// Usage:
+//
+//	dbre -schema legacy.sql [-data dir] [-programs dir]
+//	     [-expert auto|interactive|deny] [-format text|dot]
+//	     [-out-data dir] [-no-closure]
+//
+// With -expert interactive the paper's expert-user dialogue runs on the
+// terminal; auto applies the default trust-the-extension policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dbre"
+	"dbre/internal/expert"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbre:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dbre", flag.ContinueOnError)
+	schema := fs.String("schema", "", "DDL file (CREATE TABLE statements; INSERTs allowed)")
+	data := fs.String("data", "", "directory of <relation>.csv extension files")
+	programs := fs.String("programs", "", "directory of application programs (.sql/.cob/.c/...)")
+	expertKind := fs.String("expert", "auto", "expert user: auto, interactive or deny")
+	format := fs.String("format", "text", "output: text (full report) or dot (EER GraphViz)")
+	outData := fs.String("out-data", "", "write the restructured extension as CSV into this directory")
+	outSchema := fs.String("out-schema", "", "write the restructured schema + constraints as SQL DDL to this file")
+	noClosure := fs.Bool("no-closure", false, "disable transitive closure of equality chains")
+	inferKeys := fs.Bool("infer-keys", false, "infer data-supported keys for relations without UNIQUE declarations")
+	parallel := fs.Int("parallel", 0, "IND-Discovery counting workers (0 = serial; results identical)")
+	slack := fs.Float64("slack", 0.98, "auto expert: near-inclusion forcing threshold")
+	tolerate := fs.Float64("tolerate", 0, "auto expert: max FD violation rate still enforced")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *schema == "" {
+		fs.Usage()
+		return fmt.Errorf("-schema is required")
+	}
+
+	db, err := dbre.LoadSQLFile(*schema)
+	if err != nil {
+		return err
+	}
+	if *data != "" {
+		violations, err := dbre.LoadCSVDir(db, *data)
+		if err != nil {
+			return err
+		}
+		if violations > 0 {
+			fmt.Fprintf(out, "note: %d constraint violations tolerated while loading\n", violations)
+		}
+	}
+
+	var oracle dbre.Oracle
+	switch *expertKind {
+	case "auto":
+		auto := dbre.AutoExpert()
+		auto.InclusionSlack = *slack
+		auto.MaxViolationRate = *tolerate
+		oracle = auto
+	case "interactive":
+		oracle = dbre.InteractiveExpert(os.Stdin, out)
+	case "deny":
+		oracle = expert.Deny{}
+	default:
+		return fmt.Errorf("unknown expert %q", *expertKind)
+	}
+	rec := dbre.RecordingExpert(oracle)
+
+	opts := dbre.Options{
+		Oracle:            rec,
+		TransitiveClosure: !*noClosure,
+		InferKeys:         *inferKeys,
+		Parallelism:       *parallel,
+	}
+	var report *dbre.Report
+	if *programs != "" {
+		q, scan, err := dbre.ScanProgramsDir(db, *programs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "programs: files=%d parsed=%d failures=%d, |Q|=%d\n",
+			scan.FilesScanned, scan.StatementsFound, scan.ParseFailures, q.Len())
+		report, err = dbre.ReverseWithQ(db, q, opts)
+		if err != nil {
+			return err
+		}
+		report.Scan = *scan
+	} else {
+		fmt.Fprintln(out, "note: no -programs directory; Q is empty and only K/N are usable")
+		report, err = dbre.Reverse(db, nil, opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	switch *format {
+	case "text":
+		fmt.Fprintln(out, report.Text())
+		if len(rec.Log) > 0 {
+			fmt.Fprintln(out, "\nExpert decisions")
+			fmt.Fprintln(out, "----------------")
+			for _, d := range rec.Log {
+				fmt.Fprintln(out, " ", d)
+			}
+		}
+	case "dot":
+		if report.EER == nil {
+			return fmt.Errorf("no EER schema produced")
+		}
+		fmt.Fprint(out, report.EER.DOT())
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	if *outData != "" {
+		if err := dbre.StoreCSVDir(db, *outData); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "restructured extension written to %s\n", *outData)
+	}
+	if *outSchema != "" {
+		ddl := dbre.ExportDDL(db, report.Restruct.RIC)
+		if err := os.WriteFile(*outSchema, []byte(ddl), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "restructured schema written to %s\n", *outSchema)
+	}
+	return nil
+}

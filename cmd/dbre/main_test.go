@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbre"
+	"dbre/internal/paperex"
+)
+
+// fixtureDir writes the paper example to disk: schema.sql, data/, programs/.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "schema.sql"), []byte(paperex.DDL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbre.StoreCSVDir(paperex.Database(), filepath.Join(dir, "data")); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range paperex.Programs {
+		path := filepath.Join(dir, "programs", name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunFullPipeline(t *testing.T) {
+	dir := fixtureDir(t)
+	var out strings.Builder
+	err := run([]string{
+		"-schema", filepath.Join(dir, "schema.sql"),
+		"-data", filepath.Join(dir, "data"),
+		"-programs", filepath.Join(dir, "programs"),
+		"-expert", "auto",
+		"-out-data", filepath.Join(dir, "restructured"),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"|Q|=5", "Inclusion dependencies", "EER schema", "Expert decisions"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output misses %q", want)
+		}
+	}
+	// Restructured extension written.
+	entries, err := os.ReadDir(filepath.Join(dir, "restructured"))
+	if err != nil || len(entries) < 5 {
+		t.Errorf("restructured CSVs: %v, %v", entries, err)
+	}
+}
+
+func TestRunDotFormat(t *testing.T) {
+	dir := fixtureDir(t)
+	var out strings.Builder
+	err := run([]string{
+		"-schema", filepath.Join(dir, "schema.sql"),
+		"-data", filepath.Join(dir, "data"),
+		"-programs", filepath.Join(dir, "programs"),
+		"-format", "dot",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph EER") {
+		t.Error("DOT output missing")
+	}
+}
+
+func TestRunDenyExpertAndNoPrograms(t *testing.T) {
+	dir := fixtureDir(t)
+	var out strings.Builder
+	err := run([]string{
+		"-schema", filepath.Join(dir, "schema.sql"),
+		"-expert", "deny",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no -programs directory") {
+		t.Error("missing-programs note absent")
+	}
+}
+
+func TestRunInferKeys(t *testing.T) {
+	dir := t.TempDir()
+	schema := `CREATE TABLE T (a INTEGER, b INTEGER);
+INSERT INTO T VALUES (1, 5); INSERT INTO T VALUES (2, 5);`
+	if err := os.WriteFile(filepath.Join(dir, "s.sql"), []byte(schema), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-schema", filepath.Join(dir, "s.sql"), "-infer-keys"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "inferred keys") || !strings.Contains(out.String(), "T.a") {
+		t.Errorf("inferred keys missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -schema accepted")
+	}
+	if err := run([]string{"-schema", "/no/file.sql"}, &out); err == nil {
+		t.Error("missing schema file accepted")
+	}
+	dir := fixtureDir(t)
+	if err := run([]string{"-schema", filepath.Join(dir, "schema.sql"), "-expert", "bogus"}, &out); err == nil {
+		t.Error("unknown expert accepted")
+	}
+	if err := run([]string{"-schema", filepath.Join(dir, "schema.sql"), "-format", "bogus"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-schema", filepath.Join(dir, "schema.sql"), "-data", "/no/dir"}, &out); err != nil {
+		t.Errorf("missing data dir should be tolerated (LoadDir skips): %v", err)
+	}
+	if err := run([]string{"-schema", filepath.Join(dir, "schema.sql"), "-programs", "/no/dir"}, &out); err == nil {
+		t.Error("missing programs dir accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,179 @@
+// Package dbre reverse-engineers denormalized relational databases, after
+// J-M. Petit, F. Toumani, J-F. Boulicaut and J. Kouloumdjian, "Towards the
+// Reverse Engineering of Denormalized Relational Databases", ICDE 1996.
+//
+// Given a database in operation — a schema that is merely 1NF, its
+// extension, and the application programs written against it — the method
+// elicits the data semantics the dictionary never declared and rebuilds a
+// 3NF schema with key and referential-integrity constraints, then an EER
+// conceptual schema:
+//
+//  1. K and N (keys, NOT NULLs) are read off the data dictionary;
+//  2. the equi-join set Q is extracted from the application programs
+//     (SQL scripts, COBOL EXEC SQL blocks, embedded-C strings);
+//  3. IND-Discovery checks each equi-join against the extension and
+//     elicits inclusion dependencies, escalating non-empty intersections
+//     to the expert user;
+//  4. LHS-Discovery / RHS-Discovery elicit the functional dependencies
+//     that matter for restructuring, plus hidden objects;
+//  5. Restruct normalizes to 3NF and computes referential integrity
+//     constraints; Translate maps the result to EER structures.
+//
+// The usual entry point is Reverse:
+//
+//	db, err := dbre.LoadSQLFile("legacy.sql")
+//	...
+//	report, err := dbre.Reverse(db, programs, dbre.DefaultOptions())
+//	fmt.Println(report.Text())
+//	fmt.Println(report.EER.DOT())
+//
+// The expert user of the paper is the Oracle interface: AutoExpert for
+// unattended runs, InteractiveExpert for a terminal session, or any custom
+// implementation.
+package dbre
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"dbre/internal/appscan"
+	"dbre/internal/core"
+	"dbre/internal/csvio"
+	"dbre/internal/deps"
+	"dbre/internal/eer"
+	"dbre/internal/expert"
+	"dbre/internal/relation"
+	"dbre/internal/restruct"
+	"dbre/internal/sql/exec"
+	"dbre/internal/table"
+)
+
+// Re-exported building blocks. The aliases are the same types the internal
+// packages use, so the whole toolkit interoperates.
+type (
+	// Database binds a catalog (schemas, keys, NOT NULLs) to its
+	// extension.
+	Database = table.Database
+	// Catalog is the set of relation schemas under analysis.
+	Catalog = relation.Catalog
+	// Schema describes one relation.
+	Schema = relation.Schema
+	// AttrSet is a set of attribute names.
+	AttrSet = relation.AttrSet
+	// Ref is a qualified attribute set R.X.
+	Ref = relation.Ref
+	// FD is a functional dependency.
+	FD = deps.FD
+	// IND is an inclusion dependency.
+	IND = deps.IND
+	// EquiJoin is one element of the program-derived join set Q.
+	EquiJoin = deps.EquiJoin
+	// JoinSet is the set Q.
+	JoinSet = deps.JoinSet
+	// Oracle models the expert user validating the method's presumptions.
+	Oracle = expert.Oracle
+	// Options configures a Reverse run.
+	Options = core.Options
+	// Report carries every artifact of a Reverse run, phase by phase.
+	Report = core.Report
+	// EERSchema is the translated conceptual schema.
+	EERSchema = eer.Schema
+	// ScanReport aggregates program-scanning statistics.
+	ScanReport = appscan.Report
+)
+
+// DefaultOptions returns the paper's setting with an automatic expert.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// AutoExpert returns the default policy-driven expert: trusts the
+// extension, conceptualizes NEIs and hidden objects, never forces refuted
+// dependencies. Tune its exported fields to change the policy.
+func AutoExpert() *expert.Auto { return expert.NewAuto() }
+
+// InteractiveExpert returns an expert that prompts a human on the given
+// streams (the paper's interactive sessions).
+func InteractiveExpert(in io.Reader, out io.Writer) Oracle {
+	return expert.NewInteractive(in, out)
+}
+
+// RecordingExpert wraps another oracle and keeps an audit log of every
+// decision; read the log from the returned value's Log field.
+func RecordingExpert(inner Oracle) *expert.Recording { return expert.NewRecording(inner) }
+
+// LoadSQL builds a database from a script of CREATE TABLE and INSERT
+// statements (a dictionary dump plus unloaded data).
+func LoadSQL(script string) (*Database, error) {
+	db, errs := exec.LoadScript(script)
+	if len(errs) > 0 {
+		return db, fmt.Errorf("dbre: loading script: %w (and %d more)", errs[0], len(errs)-1)
+	}
+	return db, nil
+}
+
+// LoadSQLFile is LoadSQL over a file.
+func LoadSQLFile(path string) (*Database, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadSQL(string(data))
+}
+
+// LoadCSVDir fills the database's relations from <relation>.csv files in
+// dir. Constraint violations are tolerated (legacy extensions are dirty by
+// assumption) and returned as a count.
+func LoadCSVDir(db *Database, dir string) (violations int, err error) {
+	return csvio.LoadDir(db, dir, false)
+}
+
+// StoreCSVDir writes every relation of the database to <relation>.csv
+// files in dir — e.g. to persist a restructured extension.
+func StoreCSVDir(db *Database, dir string) error {
+	return csvio.StoreDir(db, dir)
+}
+
+// ScanProgramsDir walks a directory of application programs (.sql, .cob,
+// .c, ...) and extracts the equi-join set Q against the database's catalog.
+func ScanProgramsDir(db *Database, dir string) (*JoinSet, *ScanReport, error) {
+	var rep ScanReport
+	snippets, err := appscan.ScanDir(dir, &rep)
+	if err != nil {
+		return nil, &rep, err
+	}
+	q := appscan.NewExtractor(db.Catalog()).ExtractQ(snippets)
+	return q, &rep, nil
+}
+
+// ScanPrograms extracts Q from in-memory program sources (name → text).
+func ScanPrograms(db *Database, programs map[string]string) (*JoinSet, *ScanReport) {
+	var rep ScanReport
+	var snippets []appscan.Snippet
+	for name, src := range programs {
+		snippets = append(snippets, appscan.ScanSource(name, src, &rep)...)
+	}
+	q := appscan.NewExtractor(db.Catalog()).ExtractQ(snippets)
+	return q, &rep
+}
+
+// Reverse runs the complete pipeline: program scanning, IND-Discovery,
+// LHS/RHS-Discovery, Restruct and Translate. The database is modified in
+// place (new relations, attribute splits, data migration); clone it first
+// if the original must survive.
+func Reverse(db *Database, programs map[string]string, opts Options) (*Report, error) {
+	return core.Run(db, programs, opts)
+}
+
+// ReverseWithQ runs the pipeline with a pre-extracted join set, matching
+// the paper's assumption that Q "has been computed".
+func ReverseWithQ(db *Database, q *JoinSet, opts Options) (*Report, error) {
+	return core.RunWithQ(db, q, opts, nil)
+}
+
+// ExportDDL renders a restructured database and its referential integrity
+// constraints as standard SQL (CREATE TABLE + ALTER TABLE ... ADD FOREIGN
+// KEY) — the "front-end to existing DBRE methods" output format. Pass the
+// database and RIC from a completed Reverse run.
+func ExportDDL(db *Database, ric []IND) string {
+	return restruct.ExportDDL(db.Catalog(), ric)
+}

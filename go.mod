@@ -1,0 +1,3 @@
+module dbre
+
+go 1.22

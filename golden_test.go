@@ -1,0 +1,79 @@
+package dbre
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbre/internal/paperex"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// stripTimings removes the wall-clock section, the only non-deterministic
+// part of a report.
+func stripTimings(text string) string {
+	if i := strings.Index(text, "\nTimings"); i >= 0 {
+		return text[:i] + "\n"
+	}
+	return text
+}
+
+// TestPaperReportGolden locks the complete paper-session report (every
+// phase's rendered artifacts) against a golden file. Regenerate with
+// `go test -run TestPaperReportGolden -update`.
+func TestPaperReportGolden(t *testing.T) {
+	db := paperex.Database()
+	rep, err := Reverse(db, paperex.Programs, Options{
+		Oracle:            paperex.Oracle(),
+		TransitiveClosure: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stripTimings(rep.Text()) + "\n" + rep.EER.DOT()
+
+	path := filepath.Join("testdata", "paper_report.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("paper report drifted from golden file.\nRegenerate with -update if the change is intended.\n--- got ---\n%s", diffHint(string(want), got))
+	}
+}
+
+// diffHint shows the first diverging line pair.
+func diffHint(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return "line " + itoa(i+1) + ":\n  want: " + wl[i] + "\n  got:  " + gl[i]
+		}
+	}
+	return "length differs: want " + itoa(len(wl)) + " lines, got " + itoa(len(gl))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

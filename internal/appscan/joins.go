@@ -1,0 +1,359 @@
+package appscan
+
+import (
+	"sort"
+	"strconv"
+
+	"dbre/internal/deps"
+	"dbre/internal/relation"
+	"dbre/internal/sql/ast"
+)
+
+// Extractor derives equi-joins from parsed statements. It needs the catalog
+// to resolve unqualified column references to their relations, exactly the
+// information a programmer of the day had in front of them.
+type Extractor struct {
+	Catalog *relation.Catalog
+	// bindingCounter assigns unique ids to FROM bindings so self-join
+	// occurrences of the same relation stay distinct.
+	bindingCounter int
+	// TransitiveClosure controls whether equality chains a=b AND b=c also
+	// yield the implied join a=c between the end relations. The paper's
+	// logical-navigation reading makes the implied path just as real.
+	TransitiveClosure bool
+}
+
+// NewExtractor builds an extractor with transitive closure enabled.
+func NewExtractor(catalog *relation.Catalog) *Extractor {
+	return &Extractor{Catalog: catalog, TransitiveClosure: true}
+}
+
+// ExtractQ scans the statements and accumulates the equi-join set Q.
+func (e *Extractor) ExtractQ(snippets []Snippet) *deps.JoinSet {
+	q := deps.NewJoinSet()
+	for _, sn := range snippets {
+		for _, j := range e.FromStatement(sn.Stmt) {
+			q.Add(j)
+		}
+	}
+	return q
+}
+
+// FromStatement extracts the equi-joins expressed by one statement.
+func (e *Extractor) FromStatement(stmt ast.Statement) []deps.EquiJoin {
+	switch s := stmt.(type) {
+	case *ast.Select:
+		return e.fromSelect(s, nil)
+	case *ast.Update:
+		// UPDATE ... WHERE col IN (SELECT ...) etc.
+		scope := e.pushScope(nil, []ast.TableRef{s.Table}, nil)
+		col := newCollector(e.TransitiveClosure)
+		e.collectExpr(s.Where, scope, col, true)
+		return col.joins()
+	case *ast.Delete:
+		scope := e.pushScope(nil, []ast.TableRef{s.Table}, nil)
+		col := newCollector(e.TransitiveClosure)
+		e.collectExpr(s.Where, scope, col, true)
+		return col.joins()
+	default:
+		return nil
+	}
+}
+
+// node identifies one column occurrence: a FROM binding plus an attribute.
+// Distinct bindings of the same relation (self-joins) stay distinct.
+type node struct {
+	bindingID int
+	rel       string
+	attr      string
+}
+
+// binding is a FROM-clause entry within a scope.
+type binding struct {
+	id     int
+	name   string // alias or relation name
+	schema *relation.Schema
+}
+
+// scope is a lexical query scope; outer points to the enclosing query for
+// correlated subqueries.
+type scope struct {
+	bindings []binding
+	outer    *scope
+}
+
+// pushScope creates a child scope over the given FROM items and joins.
+func (e *Extractor) pushScope(outer *scope, from []ast.TableRef, joins []ast.JoinClause) *scope {
+	s := &scope{outer: outer}
+	add := func(tr ast.TableRef) {
+		schema, ok := e.Catalog.Get(tr.Name)
+		if !ok {
+			return // unknown relation: references to it stay unresolved
+		}
+		e.bindingCounter++
+		s.bindings = append(s.bindings, binding{id: e.bindingCounter, name: tr.Binding(), schema: schema})
+	}
+	for _, tr := range from {
+		add(tr)
+	}
+	for _, j := range joins {
+		add(j.Table)
+	}
+	return s
+}
+
+// resolve maps a column reference to its node, scanning the innermost scope
+// first. Ambiguous or unknown references return ok=false — the extraction
+// must stay sound, never guess.
+func (s *scope) resolve(ref ast.ColumnRef) (node, bool) {
+	for sc := s; sc != nil; sc = sc.outer {
+		var found *binding
+		for i := range sc.bindings {
+			b := &sc.bindings[i]
+			if ref.Table != "" && b.name != ref.Table {
+				continue
+			}
+			if !b.schema.HasAttr(ref.Name) {
+				continue
+			}
+			if found != nil {
+				return node{}, false // ambiguous
+			}
+			found = b
+		}
+		if found != nil {
+			return node{bindingID: found.id, rel: found.schema.Name, attr: ref.Name}, true
+		}
+	}
+	return node{}, false
+}
+
+// collector accumulates equality edges between column nodes and groups them
+// into equi-joins.
+type collector struct {
+	transitive bool
+	parent     map[string]string // union-find over node keys
+	nodes      map[string]node
+	edges      [][2]node // direct equalities, kept for non-transitive mode
+}
+
+func newCollector(transitive bool) *collector {
+	return &collector{
+		transitive: transitive,
+		parent:     make(map[string]string),
+		nodes:      make(map[string]node),
+	}
+}
+
+func nodeKey(n node) string {
+	return n.attr + "\x00" + n.rel + "\x00" + strconv.Itoa(n.bindingID)
+}
+
+func (c *collector) find(k string) string {
+	if c.parent[k] != k {
+		c.parent[k] = c.find(c.parent[k])
+	}
+	return c.parent[k]
+}
+
+func (c *collector) addNode(n node) string {
+	k := nodeKey(n)
+	if _, ok := c.parent[k]; !ok {
+		c.parent[k] = k
+		c.nodes[k] = n
+	}
+	return k
+}
+
+// addEquality records an equality between two column nodes.
+func (c *collector) addEquality(a, b node) {
+	ka, kb := c.addNode(a), c.addNode(b)
+	ra, rb := c.find(ka), c.find(kb)
+	if ra != rb {
+		c.parent[ra] = rb
+	}
+	c.edges = append(c.edges, [2]node{a, b})
+}
+
+// joins groups the recorded equalities into equi-joins: for every pair of
+// distinct bindings related by at least one equality (directly, or through
+// the transitive closure when enabled), one join whose attribute lists
+// collect all related attribute pairs.
+func (c *collector) joins() []deps.EquiJoin {
+	type pairKey struct{ a, b int } // binding IDs, a < b
+	type attrPair struct{ la, ra string }
+	pairs := make(map[pairKey]map[attrPair]bool)
+	rels := make(map[pairKey][2]string)
+
+	addPair := func(x, y node) {
+		if x.bindingID == y.bindingID {
+			return // intra-binding equality, not a join
+		}
+		if x.bindingID > y.bindingID {
+			x, y = y, x
+		}
+		pk := pairKey{x.bindingID, y.bindingID}
+		if pairs[pk] == nil {
+			pairs[pk] = make(map[attrPair]bool)
+		}
+		pairs[pk][attrPair{x.attr, y.attr}] = true
+		rels[pk] = [2]string{x.rel, y.rel}
+	}
+
+	if c.transitive {
+		// All pairs of nodes within each equivalence class.
+		classes := make(map[string][]node)
+		for k := range c.parent {
+			root := c.find(k)
+			classes[root] = append(classes[root], c.nodes[k])
+		}
+		for _, members := range classes {
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					addPair(members[i], members[j])
+				}
+			}
+		}
+	} else {
+		for _, e := range c.edges {
+			addPair(e[0], e[1])
+		}
+	}
+
+	var out []deps.EquiJoin
+	for pk, set := range pairs {
+		var ps []attrPair
+		for p := range set {
+			ps = append(ps, p)
+		}
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].la != ps[j].la {
+				return ps[i].la < ps[j].la
+			}
+			return ps[i].ra < ps[j].ra
+		})
+		la := make([]string, len(ps))
+		ra := make([]string, len(ps))
+		for i, p := range ps {
+			la[i], ra[i] = p.la, p.ra
+		}
+		r := rels[pk]
+		out = append(out, deps.NewEquiJoin(deps.NewSide(r[0], la...), deps.NewSide(r[1], ra...)))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// fromSelect extracts joins from a SELECT (and its subqueries and
+// INTERSECT arm) under the given outer scope.
+func (e *Extractor) fromSelect(sel *ast.Select, outer *scope) []deps.EquiJoin {
+	col := newCollector(e.TransitiveClosure)
+	e.collectSelect(sel, outer, col)
+	out := col.joins()
+	if sel.Intersect != nil {
+		out = append(out, e.fromSelect(sel.Intersect, outer)...)
+		out = append(out, e.intersectJoins(sel, sel.Intersect, outer)...)
+	}
+	return out
+}
+
+// collectSelect walks one SELECT, adding its equality edges to col and
+// recursing into subqueries (which get their own collectors via
+// collectExpr so unrelated subquery joins don't merge equivalence classes
+// across scopes — but correlated equalities do, through shared nodes).
+func (e *Extractor) collectSelect(sel *ast.Select, outer *scope, col *collector) {
+	sc := e.pushScope(outer, sel.From, sel.Joins)
+	for _, j := range sel.Joins {
+		e.collectExpr(j.On, sc, col, true)
+	}
+	e.collectExpr(sel.Where, sc, col, true)
+}
+
+// collectExpr walks a predicate. conj is true while the context is purely
+// conjunctive; equalities under OR or NOT are not reliable join paths and
+// are ignored, which keeps the extraction sound.
+func (e *Extractor) collectExpr(ex ast.Expr, sc *scope, col *collector, conj bool) {
+	switch x := ex.(type) {
+	case nil:
+	case ast.And:
+		e.collectExpr(x.Left, sc, col, conj)
+		e.collectExpr(x.Right, sc, col, conj)
+	case ast.Or:
+		e.collectExpr(x.Left, sc, col, false)
+		e.collectExpr(x.Right, sc, col, false)
+	case ast.Not:
+		e.collectExpr(x.Inner, sc, col, false)
+	case ast.Compare:
+		if !conj || x.Op != ast.OpEQ {
+			return
+		}
+		lref, lok := x.Left.(ast.ColumnRef)
+		rref, rok := x.Right.(ast.ColumnRef)
+		if !lok || !rok {
+			return
+		}
+		ln, lok2 := sc.resolve(lref)
+		rn, rok2 := sc.resolve(rref)
+		if lok2 && rok2 {
+			col.addEquality(ln, rn)
+		}
+	case ast.InSubquery:
+		// a IN (SELECT b FROM S ...): equate a with the subquery output.
+		sub := e.pushScope(sc, x.Sub.From, x.Sub.Joins)
+		if !x.Negate && conj && len(x.Sub.Items) == 1 {
+			if lref, ok := x.Left.(ast.ColumnRef); ok {
+				if out, ok := x.Sub.Items[0].Expr.(ast.ColumnRef); ok {
+					ln, lok := sc.resolve(lref)
+					rn, rok := sub.resolve(out)
+					if lok && rok {
+						col.addEquality(ln, rn)
+					}
+				}
+			}
+		}
+		e.collectSubquery(x.Sub, sc, col, !x.Negate && conj)
+	case ast.Exists:
+		e.collectSubquery(x.Sub, sc, col, !x.Negate && conj)
+	case ast.InList, ast.IsNull, ast.Literal, ast.ColumnRef, ast.Param:
+		// No join information.
+	}
+}
+
+// collectSubquery recurses into a subquery. Equalities inside it that reach
+// outer bindings (correlation) join across scopes; conj gates whether those
+// count (NOT EXISTS / NOT IN contexts do not).
+func (e *Extractor) collectSubquery(sub *ast.Select, outer *scope, col *collector, conj bool) {
+	sc := e.pushScope(outer, sub.From, sub.Joins)
+	for _, j := range sub.Joins {
+		e.collectExpr(j.On, sc, col, conj)
+	}
+	e.collectExpr(sub.Where, sc, col, conj)
+	if sub.Intersect != nil {
+		e.collectSubquery(sub.Intersect, outer, col, conj)
+	}
+}
+
+// intersectJoins derives joins from `SELECT a FROM R INTERSECT SELECT b
+// FROM S`: positionally matching output columns are equated — the paper
+// explicitly lists the intersect operator among the equi-join spellings.
+func (e *Extractor) intersectJoins(left, right *ast.Select, outer *scope) []deps.EquiJoin {
+	if len(left.Items) != len(right.Items) {
+		return nil
+	}
+	lsc := e.pushScope(outer, left.From, left.Joins)
+	rsc := e.pushScope(outer, right.From, right.Joins)
+	col := newCollector(e.TransitiveClosure)
+	for i := range left.Items {
+		lref, lok := left.Items[i].Expr.(ast.ColumnRef)
+		rref, rok := right.Items[i].Expr.(ast.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		ln, lok2 := lsc.resolve(lref)
+		rn, rok2 := rsc.resolve(rref)
+		if lok2 && rok2 {
+			col.addEquality(ln, rn)
+		}
+	}
+	return col.joins()
+}

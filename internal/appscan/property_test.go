@@ -1,0 +1,122 @@
+package appscan
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dbre/internal/deps"
+	"dbre/internal/relation"
+	"dbre/internal/value"
+)
+
+// propCatalog is a wide catalog for round-trip generation: relations R0..R5
+// with attributes a0..a4 each (unqualified references would be ambiguous,
+// so rendering always qualifies).
+func propCatalog() *relation.Catalog {
+	var schemas []*relation.Schema
+	for r := 0; r < 6; r++ {
+		var attrs []relation.Attribute
+		for a := 0; a < 5; a++ {
+			attrs = append(attrs, relation.Attribute{
+				Name: fmt.Sprintf("a%d", a), Type: value.KindInt,
+			})
+		}
+		schemas = append(schemas, relation.MustSchema(fmt.Sprintf("R%d", r), attrs))
+	}
+	return relation.MustCatalog(schemas...)
+}
+
+// randJoin generates a random cross-relation equi-join over propCatalog.
+type randJoin struct {
+	J    deps.EquiJoin
+	Lang int
+}
+
+// Generate implements quick.Generator.
+func (randJoin) Generate(r *rand.Rand, _ int) reflect.Value {
+	lrel := r.Intn(6)
+	rrel := (lrel + 1 + r.Intn(5)) % 6 // distinct relation
+	arity := 1 + r.Intn(3)
+	perm := r.Perm(5)
+	perm2 := r.Perm(5)
+	var la, ra []string
+	for i := 0; i < arity; i++ {
+		la = append(la, fmt.Sprintf("a%d", perm[i]))
+		ra = append(ra, fmt.Sprintf("a%d", perm2[i]))
+	}
+	return reflect.ValueOf(randJoin{
+		J: deps.NewEquiJoin(
+			deps.NewSide(fmt.Sprintf("R%d", lrel), la...),
+			deps.NewSide(fmt.Sprintf("R%d", rrel), ra...)),
+		Lang: r.Intn(3),
+	})
+}
+
+// render writes one program expressing the join in the selected language.
+func render(j deps.EquiJoin, lang int) (string, string) {
+	conds := make([]string, j.Arity())
+	for i := range j.Left.Attrs {
+		conds[i] = fmt.Sprintf("x.%s = y.%s", j.Left.Attrs[i], j.Right.Attrs[i])
+	}
+	where := conds[0]
+	for _, c := range conds[1:] {
+		where += " AND " + c
+	}
+	switch lang {
+	case 0:
+		return "p.sql", fmt.Sprintf("SELECT x.%s FROM %s x, %s y WHERE %s;",
+			j.Left.Attrs[0], j.Left.Rel, j.Right.Rel, where)
+	case 1:
+		return "p.cob", fmt.Sprintf(`000100 PROCEDURE DIVISION.
+000200     EXEC SQL
+000300         SELECT x.%s INTO :ws FROM %s x, %s y WHERE %s
+000400     END-EXEC.`, j.Left.Attrs[0], j.Left.Rel, j.Right.Rel, where)
+	default:
+		return "p.c", fmt.Sprintf(`int f(void) { char *q = "SELECT x.%s FROM %s x, %s y WHERE %s"; return run(q); }`,
+			j.Left.Attrs[0], j.Left.Rel, j.Right.Rel, where)
+	}
+}
+
+// TestQuickRenderExtractRoundTrip: any join rendered into any host language
+// is recovered exactly by the scanner+extractor.
+func TestQuickRenderExtractRoundTrip(t *testing.T) {
+	cat := propCatalog()
+	f := func(rj randJoin) bool {
+		name, src := render(rj.J, rj.Lang)
+		var rep Report
+		snippets := ScanSource(name, src, &rep)
+		if rep.ParseFailures != 0 || len(snippets) != 1 {
+			return false
+		}
+		e := NewExtractor(cat)
+		q := e.ExtractQ(snippets)
+		return q.Len() == 1 && q.Contains(rj.J)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExtractionDeterministic: scanning the same sources twice yields
+// the same Q in the same canonical order.
+func TestQuickExtractionDeterministic(t *testing.T) {
+	cat := propCatalog()
+	f := func(a, b randJoin) bool {
+		n1, s1 := render(a.J, a.Lang)
+		n2, s2 := render(b.J, b.Lang)
+		scan := func() string {
+			var rep Report
+			var sn []Snippet
+			sn = append(sn, ScanSource("x_"+n1, s1, &rep)...)
+			sn = append(sn, ScanSource("y_"+n2, s2, &rep)...)
+			return deps.NewJoinSet(NewExtractor(cat).ExtractQ(sn).Sorted()...).String()
+		}
+		return scan() == scan()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

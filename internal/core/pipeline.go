@@ -1,0 +1,286 @@
+// Package core orchestrates the complete reverse-engineering pipeline of
+// the paper: compute K and N from the dictionary, extract the equi-join set
+// Q from the application programs, elicit inclusion dependencies
+// (IND-Discovery), derive candidate FD left-hand sides (LHS-Discovery),
+// elicit functional dependencies and hidden objects (RHS-Discovery),
+// restructure the schema to 3NF with keys and referential integrity
+// constraints (Restruct), and translate it to an EER schema (Translate).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dbre/internal/appscan"
+	"dbre/internal/deps"
+	"dbre/internal/eer"
+	"dbre/internal/expert"
+	"dbre/internal/fd"
+	"dbre/internal/ind"
+	"dbre/internal/relation"
+	"dbre/internal/restruct"
+	"dbre/internal/table"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// Oracle is the expert user; nil means expert.NewAuto().
+	Oracle expert.Oracle
+	// TransitiveClosure controls equi-join closure during extraction.
+	TransitiveClosure bool
+	// SkipTranslate stops after Restruct (no EER schema).
+	SkipTranslate bool
+	// InferKeys derives data-supported candidate keys for relations with
+	// no UNIQUE declaration before computing K — a necessity on the old
+	// dictionaries the paper motivates with ("old versions of DBMSs do
+	// not support such declarations").
+	InferKeys bool
+	// Parallelism fans the IND-Discovery counting phase over this many
+	// workers (0 = serial). Results are identical to the serial run.
+	Parallelism int
+}
+
+// DefaultOptions mirrors the paper's setting with an automatic expert.
+func DefaultOptions() Options {
+	return Options{Oracle: expert.NewAuto(), TransitiveClosure: true}
+}
+
+// Report is the full pipeline outcome, one field per phase.
+type Report struct {
+	// K and N are the Section 4 constraint sets.
+	K []relation.Ref
+	N []relation.Ref
+	// InferredKeys lists keys declared by data-supported inference for
+	// relations the dictionary left keyless (Options.InferKeys).
+	InferredKeys []relation.Ref
+	// Scan summarizes program analysis; Q is the extracted equi-join set.
+	Scan appscan.Report
+	Q    *deps.JoinSet
+	// IND is the IND-Discovery result (inclusion dependencies, S, trace).
+	IND *ind.Result
+	// LHS is the LHS-Discovery result.
+	LHS *restruct.LHSResult
+	// RHS is the RHS-Discovery result (F, final H, trace).
+	RHS *fd.Result
+	// Restruct is the restructuring result (keys, rewritten INDs, RIC).
+	Restruct *restruct.Result
+	// ThreeNFViolations lists relations of the restructured catalog that
+	// fail the 3NF postcondition (empty on every normal run).
+	ThreeNFViolations []string
+	// EER is the translated conceptual schema (nil with SkipTranslate).
+	EER *eer.Schema
+	// Timings records the wall-clock duration of each phase.
+	Timings map[string]time.Duration
+}
+
+// Run executes the pipeline over a database in operation and its
+// application programs (file name → source text). The database is modified
+// in place: NEI relations, hidden objects and FD splits are added, split
+// attributes are removed, data is migrated.
+func Run(db *table.Database, programs map[string]string, opts Options) (*Report, error) {
+	// Phase 1: scan the application programs.
+	rep := &Report{Timings: make(map[string]time.Duration)}
+	start := time.Now()
+	var snippets []appscan.Snippet
+	names := make([]string, 0, len(programs))
+	for name := range programs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snippets = append(snippets, appscan.ScanSource(name, programs[name], &rep.Scan)...)
+	}
+	ex := appscan.NewExtractor(db.Catalog())
+	ex.TransitiveClosure = opts.TransitiveClosure
+	q := ex.ExtractQ(snippets)
+	rep.Timings["scan"] = time.Since(start)
+	return RunWithQ(db, q, opts, rep)
+}
+
+// RunWithQ executes the pipeline with a pre-extracted equi-join set (the
+// paper's assumption in Section 4 that Q "has been computed"). When rep is
+// nil a fresh report is allocated.
+func RunWithQ(db *table.Database, q *deps.JoinSet, opts Options, rep *Report) (*Report, error) {
+	if rep == nil {
+		rep = &Report{Timings: make(map[string]time.Duration)}
+	}
+	if opts.Oracle == nil {
+		opts.Oracle = expert.NewAuto()
+	}
+	rep.Q = q
+
+	// Phase 0: constraint sets from the dictionary, inferring missing
+	// keys from the data first when asked to.
+	start := time.Now()
+	if opts.InferKeys {
+		inferred, err := fd.InferMissingKeys(db, fd.DefaultKeyInferenceOptions())
+		if err != nil {
+			return rep, fmt.Errorf("core: key inference: %w", err)
+		}
+		rep.InferredKeys = inferred
+	}
+	rep.K = db.Catalog().Keys()
+	rep.N = db.Catalog().NotNulls()
+	rep.Timings["constraints"] = time.Since(start)
+
+	// Phase 2: IND-Discovery.
+	start = time.Now()
+	var indRes *ind.Result
+	var err error
+	if opts.Parallelism > 1 {
+		indRes, err = ind.DiscoverParallel(db, q, opts.Oracle, opts.Parallelism)
+	} else {
+		indRes, err = ind.Discover(db, q, opts.Oracle)
+	}
+	if err != nil {
+		return rep, fmt.Errorf("core: IND-Discovery: %w", err)
+	}
+	rep.IND = indRes
+	rep.Timings["ind-discovery"] = time.Since(start)
+
+	// Phase 3: LHS-Discovery.
+	start = time.Now()
+	inS := make(map[string]bool, len(indRes.NewRelations))
+	for _, n := range indRes.NewRelations {
+		inS[n] = true
+	}
+	lhsRes, err := restruct.DiscoverLHS(db.Catalog(), indRes.INDs, func(n string) bool { return inS[n] })
+	if err != nil {
+		return rep, fmt.Errorf("core: LHS-Discovery: %w", err)
+	}
+	rep.LHS = lhsRes
+	rep.Timings["lhs-discovery"] = time.Since(start)
+
+	// Phase 4: RHS-Discovery.
+	start = time.Now()
+	rhsRes, err := fd.DiscoverRHS(db, lhsRes.LHS, lhsRes.Hidden, opts.Oracle)
+	if err != nil {
+		return rep, fmt.Errorf("core: RHS-Discovery: %w", err)
+	}
+	rep.RHS = rhsRes
+	rep.Timings["rhs-discovery"] = time.Since(start)
+
+	// Phase 5: Restruct.
+	start = time.Now()
+	resRes, err := restruct.Run(db, rhsRes.FDs, rhsRes.Hidden, indRes.INDs, opts.Oracle)
+	if err != nil {
+		return rep, fmt.Errorf("core: Restruct: %w", err)
+	}
+	rep.Restruct = resRes
+	// Postcondition: the restructured catalog must be in 3NF with respect
+	// to the elicited dependencies. Violations indicate expert-forced
+	// dependencies that conflict; they are reported, not fatal.
+	rep.ThreeNFViolations = restruct.Verify3NF(db.Catalog(), resRes.MappedFDs)
+	rep.Timings["restruct"] = time.Since(start)
+
+	// Phase 6: Translate, then annotate cardinalities and participation
+	// from the migrated extension.
+	if !opts.SkipTranslate {
+		start = time.Now()
+		schema, err := eer.Translate(db.Catalog(), resRes.RIC)
+		if err != nil {
+			return rep, fmt.Errorf("core: Translate: %w", err)
+		}
+		if err := eer.Annotate(db, schema); err != nil {
+			return rep, fmt.Errorf("core: annotating EER schema: %w", err)
+		}
+		rep.EER = schema
+		rep.Timings["translate"] = time.Since(start)
+	}
+	return rep, nil
+}
+
+// Text renders a human-readable summary of the whole run.
+func (r *Report) Text() string {
+	var b strings.Builder
+	section := func(title string) {
+		fmt.Fprintf(&b, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+	}
+	section("Constraint sets (Section 4)")
+	if len(r.InferredKeys) > 0 {
+		fmt.Fprintf(&b, "inferred keys (validate with the expert):\n")
+		for _, k := range r.InferredKeys {
+			fmt.Fprintf(&b, "  %s\n", k)
+		}
+	}
+	fmt.Fprintf(&b, "K: %d key constraints\n", len(r.K))
+	for _, k := range r.K {
+		fmt.Fprintf(&b, "  %s\n", k)
+	}
+	fmt.Fprintf(&b, "N: %d null-not-allowed attributes\n", len(r.N))
+
+	if r.Q != nil {
+		section("Equi-joins Q (program analysis)")
+		fmt.Fprintf(&b, "%s\n", appscan.FormatReport(&r.Scan))
+		for _, q := range r.Q.Sorted() {
+			fmt.Fprintf(&b, "  %s\n", q)
+		}
+	}
+	if r.IND != nil {
+		section("Inclusion dependencies (IND-Discovery)")
+		for _, o := range r.IND.Outcomes {
+			fmt.Fprintf(&b, "  %s\n", o)
+		}
+		fmt.Fprintf(&b, "IND (%d):\n", r.IND.INDs.Len())
+		for _, d := range r.IND.INDs.Sorted() {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+		if len(r.IND.NewRelations) > 0 {
+			fmt.Fprintf(&b, "S: %s\n", strings.Join(r.IND.NewRelations, ", "))
+		}
+	}
+	if r.LHS != nil {
+		section("Candidate FD left-hand sides (LHS-Discovery)")
+		for _, l := range r.LHS.LHS {
+			fmt.Fprintf(&b, "  LHS %s\n", l)
+		}
+		for _, h := range r.LHS.Hidden {
+			fmt.Fprintf(&b, "  H   %s\n", h)
+		}
+	}
+	if r.RHS != nil {
+		section("Functional dependencies (RHS-Discovery)")
+		for _, t := range r.RHS.Traces {
+			fmt.Fprintf(&b, "  %s\n", t)
+		}
+		fmt.Fprintf(&b, "F (%d):\n", len(r.RHS.FDs))
+		for _, f := range r.RHS.FDs {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+		fmt.Fprintf(&b, "H (%d):\n", len(r.RHS.Hidden))
+		for _, h := range r.RHS.Hidden {
+			fmt.Fprintf(&b, "  %s\n", h)
+		}
+	}
+	if r.Restruct != nil {
+		section("Restructured schema (Restruct)")
+		fmt.Fprintf(&b, "new relations: %s\n", strings.Join(r.Restruct.NewRelations, ", "))
+		fmt.Fprintf(&b, "RIC (%d):\n", len(r.Restruct.RIC))
+		for _, d := range r.Restruct.RIC {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+		if len(r.ThreeNFViolations) == 0 {
+			fmt.Fprintf(&b, "3NF check: all relations verify\n")
+		} else {
+			for _, v := range r.ThreeNFViolations {
+				fmt.Fprintf(&b, "3NF VIOLATION: %s\n", v)
+			}
+		}
+	}
+	if r.EER != nil {
+		section("EER schema (Translate)")
+		b.WriteString(r.EER.Text())
+	}
+	section("Timings")
+	var phases []string
+	for p := range r.Timings {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	for _, p := range phases {
+		fmt.Fprintf(&b, "  %-14s %v\n", p, r.Timings[p])
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"dbre/internal/deps"
+	"dbre/internal/ind"
+	"dbre/internal/relation"
+	"dbre/internal/workload"
+)
+
+// Score measures a pipeline run against a generated workload's ground
+// truth. Dependencies are compared at pair granularity: an FD R: A → {b,c}
+// contributes the pairs (R,A,b) and (R,A,c), so partially recovered
+// dependencies earn partial credit.
+type Score struct {
+	INDPrecision float64
+	INDRecall    float64
+	FDPrecision  float64
+	FDRecall     float64
+	HiddenRecall float64
+	// ExpertConsultations counts NEI decisions escalated to the oracle.
+	ExpertConsultations int
+}
+
+// String renders the score compactly.
+func (s Score) String() string {
+	return fmt.Sprintf("IND P=%.2f R=%.2f | FD P=%.2f R=%.2f | hidden R=%.2f | expert=%d",
+		s.INDPrecision, s.INDRecall, s.FDPrecision, s.FDRecall, s.HiddenRecall, s.ExpertConsultations)
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+// fdPairs expands FDs into (rel, lhs, attr) pair keys.
+func fdPairs(fds []deps.FD) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range fds {
+		for _, b := range f.RHS.Names() {
+			out[f.Rel+"\x01"+f.LHS.Key()+"\x01"+b] = true
+		}
+	}
+	return out
+}
+
+func indKeys(inds []deps.IND) map[string]bool {
+	out := make(map[string]bool)
+	for _, d := range inds {
+		out[d.Key()] = true
+	}
+	return out
+}
+
+// Evaluate scores the report against the workload's ground truth.
+func Evaluate(rep *Report, truth workload.GroundTruth) Score {
+	var s Score
+
+	// INDs: compare the IND-Discovery output (before Restruct rewrites)
+	// with the planted foreign keys. NEI relations (named like the
+	// generator never names relations) are excluded from precision: they
+	// are expert artifacts, not claims about planted links.
+	if rep.IND != nil {
+		want := indKeys(truth.ExpectedINDs)
+		got := make(map[string]bool)
+		newRel := make(map[string]bool)
+		for _, n := range rep.IND.NewRelations {
+			newRel[n] = true
+		}
+		for _, d := range rep.IND.INDs.All() {
+			if newRel[d.Left.Rel] || newRel[d.Right.Rel] {
+				continue
+			}
+			got[d.Key()] = true
+		}
+		tp := 0
+		for k := range got {
+			if want[k] {
+				tp++
+			}
+		}
+		s.INDPrecision = ratio(tp, len(got))
+		s.INDRecall = ratio(tp, len(want))
+		for _, o := range rep.IND.Outcomes {
+			switch o.Case {
+			case ind.CaseNEINewRelation, ind.CaseNEIForced, ind.CaseNEIIgnored:
+				s.ExpertConsultations++
+			}
+		}
+	}
+
+	// FDs at pair granularity.
+	if rep.RHS != nil {
+		want := fdPairs(truth.ExpectedFDs)
+		got := fdPairs(rep.RHS.FDs)
+		tp := 0
+		for k := range got {
+			if want[k] {
+				tp++
+			}
+		}
+		s.FDPrecision = ratio(tp, len(got))
+		s.FDRecall = ratio(tp, len(want))
+	}
+
+	// Hidden objects: recall over the recoverable dropped-dimension refs.
+	if rep.RHS != nil {
+		found := make(map[string]bool, len(rep.RHS.Hidden))
+		for _, h := range rep.RHS.Hidden {
+			found[h.Key()] = true
+		}
+		// An expected hidden ref also counts as recovered when an FD was
+		// elicited with it as LHS (the embedded attributes were found,
+		// conceptualizing the object in F rather than H).
+		for _, f := range rep.RHS.FDs {
+			found[relation.Ref{Rel: f.Rel, Attrs: f.LHS}.Key()] = true
+		}
+		tp := 0
+		for _, h := range truth.HiddenRefs {
+			if found[h.Key()] {
+				tp++
+			}
+		}
+		s.HiddenRecall = ratio(tp, len(truth.HiddenRefs))
+	}
+	return s
+}

@@ -1,0 +1,154 @@
+// Package csvio loads and stores database extensions as CSV files, the way
+// legacy unload utilities deliver them: one file per relation, a header row
+// of attribute names, empty fields meaning NULL.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dbre/internal/table"
+	"dbre/internal/value"
+)
+
+// Load reads rows from r into tab. The first record must be a header whose
+// names are a permutation of (a subset of) the schema attributes; missing
+// attributes load as NULL. When strict is false, constraint violations are
+// loaded anyway (via InsertUnchecked) and returned as a count — corrupted
+// legacy extensions are the paper's normal case, not an error.
+func Load(tab *table.Table, r io.Reader, strict bool) (violations int, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("csvio: reading header: %w", err)
+	}
+	schema := tab.Schema()
+	colIdx := make([]int, len(header))
+	kinds := make([]value.Kind, len(header))
+	for i, name := range header {
+		idx, ok := tab.ColIndex(name)
+		if !ok {
+			return 0, fmt.Errorf("csvio: header column %q not in relation %s", name, schema.Name)
+		}
+		colIdx[i] = idx
+		kinds[i] = schema.Attrs[idx].Type
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return violations, nil
+		}
+		if err != nil {
+			return violations, fmt.Errorf("csvio: relation %s: %w", schema.Name, err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return violations, fmt.Errorf("csvio: relation %s line %d: %d fields, header has %d",
+				schema.Name, line, len(rec), len(header))
+		}
+		row := make(table.Row, len(schema.Attrs))
+		for i := range row {
+			row[i] = value.Null
+		}
+		for i, field := range rec {
+			v, err := value.Parse(field, kinds[i])
+			if err != nil {
+				return violations, fmt.Errorf("csvio: relation %s line %d: %w", schema.Name, line, err)
+			}
+			row[colIdx[i]] = v
+		}
+		if err := tab.Insert(row); err != nil {
+			if strict {
+				return violations, fmt.Errorf("csvio: relation %s line %d: %w", schema.Name, line, err)
+			}
+			violations++
+			tab.InsertUnchecked(row)
+		}
+	}
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(tab *table.Table, path string, strict bool) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return Load(tab, f, strict)
+}
+
+// Store writes the table to w as CSV with a header row; NULLs become empty
+// fields.
+func Store(tab *table.Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	schema := tab.Schema()
+	header := make([]string, len(schema.Attrs))
+	for i, a := range schema.Attrs {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < tab.Len(); i++ {
+		row := tab.Row(i)
+		for j, v := range row {
+			if v.IsNull() {
+				rec[j] = ""
+			} else {
+				rec[j] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// StoreDir writes every relation of db into dir as <relation>.csv.
+func StoreDir(db *table.Database, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range db.Catalog().Names() {
+		tab := db.MustTable(name)
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := Store(tab, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir fills every relation of db from <relation>.csv files in dir.
+// Relations without a file stay empty. It returns the total number of
+// constraint violations tolerated (strict=false).
+func LoadDir(db *table.Database, dir string, strict bool) (int, error) {
+	total := 0
+	for _, name := range db.Catalog().Names() {
+		path := filepath.Join(dir, name+".csv")
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			continue
+		}
+		n, err := LoadFile(db.MustTable(name), path, strict)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,102 @@
+package deps
+
+// Inference rules for inclusion dependencies, after Casanova, Fagin and
+// Vardi ("Inclusion dependencies and their interaction with functional
+// dependencies"): reflexivity, projection-and-permutation, and
+// transitivity form a sound and complete axiomatization. The restructuring
+// phase never needs full IND inference, but reporting can prune implied
+// constraints and tests can cross-check the elicited sets.
+
+// INDTrivial reports whether the IND is an instance of the reflexivity
+// axiom: R[X] ≪ R[X] with identical attribute lists.
+func INDTrivial(d IND) bool { return d.Left.Equal(d.Right) }
+
+// pairKey identifies one attribute correspondence of an IND.
+type pairKey struct {
+	lrel, lattr, rrel, rattr string
+}
+
+// INDImplies reports whether target follows from the given set under
+// reflexivity, projection-and-permutation (restricted to subsequences,
+// which suffices because a permutation applied to both sides yields an
+// equivalent dependency) and transitivity.
+//
+// The decision works pairwise: target L[l₁…lₙ] ≪ R[r₁…rₙ] holds iff every
+// correspondence (lᵢ, rᵢ) is reachable through chains of correspondences
+// projected from set members. This is complete for the unary and
+// independent-pair dependencies the method manipulates; for arbitrary
+// k-ary INDs it is a sound approximation (it may accept dependencies that
+// need coordinated multi-column chains, which do not arise here).
+func INDImplies(set []IND, target IND) bool {
+	if !target.Valid() {
+		return false
+	}
+	if INDTrivial(target) {
+		return true
+	}
+	// Collect all unary correspondences derivable by projection.
+	edges := make(map[pairKey]bool)
+	for _, d := range set {
+		if !d.Valid() {
+			continue
+		}
+		for i := range d.Left.Attrs {
+			edges[pairKey{d.Left.Rel, d.Left.Attrs[i], d.Right.Rel, d.Right.Attrs[i]}] = true
+		}
+	}
+	// Transitive closure over the unary correspondences (Warshall on the
+	// small attribute graph).
+	type node struct{ rel, attr string }
+	adj := make(map[node][]node)
+	for e := range edges {
+		adj[node{e.lrel, e.lattr}] = append(adj[node{e.lrel, e.lattr}], node{e.rrel, e.rattr})
+	}
+	reaches := func(from, to node) bool {
+		if from == to {
+			return true
+		}
+		seen := map[node]bool{from: true}
+		stack := []node{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, m := range adj[n] {
+				if m == to {
+					return true
+				}
+				if !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		return false
+	}
+	for i := range target.Left.Attrs {
+		from := node{target.Left.Rel, target.Left.Attrs[i]}
+		to := node{target.Right.Rel, target.Right.Attrs[i]}
+		if !reaches(from, to) {
+			return false
+		}
+	}
+	return true
+}
+
+// INDMinimize removes from the set every dependency implied by the others
+// (and every trivial one), returning a deterministic minimal subset.
+func INDMinimize(set *INDSet) []IND {
+	sorted := set.Sorted()
+	var kept []IND
+	for i, d := range sorted {
+		if INDTrivial(d) {
+			continue
+		}
+		rest := make([]IND, 0, len(sorted)-1)
+		rest = append(rest, kept...)
+		rest = append(rest, sorted[i+1:]...)
+		if !INDImplies(rest, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

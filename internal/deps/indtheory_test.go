@@ -1,0 +1,163 @@
+package deps
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func ind(lr, la, rr, ra string) IND {
+	return NewIND(NewSide(lr, la), NewSide(rr, ra))
+}
+
+func TestINDTrivial(t *testing.T) {
+	if !INDTrivial(ind("R", "a", "R", "a")) {
+		t.Error("reflexive IND not trivial")
+	}
+	if INDTrivial(ind("R", "a", "R", "b")) || INDTrivial(ind("R", "a", "S", "a")) {
+		t.Error("non-reflexive IND trivial")
+	}
+}
+
+func TestINDImpliesBasics(t *testing.T) {
+	set := []IND{
+		ind("A", "x", "B", "y"),
+		ind("B", "y", "C", "z"),
+	}
+	// Membership.
+	if !INDImplies(set, ind("A", "x", "B", "y")) {
+		t.Error("member not implied")
+	}
+	// Transitivity.
+	if !INDImplies(set, ind("A", "x", "C", "z")) {
+		t.Error("transitive consequence not implied")
+	}
+	// Reflexivity.
+	if !INDImplies(set, ind("Q", "q", "Q", "q")) {
+		t.Error("reflexive target not implied")
+	}
+	// Non-consequences.
+	if INDImplies(set, ind("C", "z", "A", "x")) {
+		t.Error("reverse wrongly implied")
+	}
+	if INDImplies(set, ind("A", "x", "C", "w")) {
+		t.Error("unrelated attribute wrongly implied")
+	}
+	// Invalid target.
+	if INDImplies(set, NewIND(NewSide("A"), NewSide("B"))) {
+		t.Error("invalid target implied")
+	}
+}
+
+func TestINDImpliesProjection(t *testing.T) {
+	set := []IND{
+		NewIND(NewSide("A", "x", "y"), NewSide("B", "u", "v")),
+	}
+	// Projection to a single column.
+	if !INDImplies(set, ind("A", "x", "B", "u")) {
+		t.Error("projection not implied")
+	}
+	if !INDImplies(set, ind("A", "y", "B", "v")) {
+		t.Error("projection not implied")
+	}
+	// Crossed correspondence is NOT implied.
+	if INDImplies(set, ind("A", "x", "B", "v")) {
+		t.Error("crossed pair wrongly implied")
+	}
+	// Permuted binary form (same correspondences, different order) is
+	// implied pairwise.
+	if !INDImplies(set, NewIND(NewSide("A", "y", "x"), NewSide("B", "v", "u"))) {
+		t.Error("permutation not implied")
+	}
+}
+
+func TestINDMinimize(t *testing.T) {
+	set := NewINDSet(
+		ind("A", "x", "B", "y"),
+		ind("B", "y", "C", "z"),
+		ind("A", "x", "C", "z"), // transitive, redundant
+		ind("R", "a", "R", "a"), // trivial
+	)
+	min := INDMinimize(set)
+	if len(min) != 2 {
+		t.Fatalf("minimized to %v", min)
+	}
+	// The minimal set still implies everything dropped.
+	for _, d := range set.All() {
+		if !INDImplies(min, d) {
+			t.Errorf("minimized set lost %s", d)
+		}
+	}
+}
+
+// randINDSet generates small IND sets over a fixed vocabulary.
+type randINDSet struct {
+	Set []IND
+}
+
+var indRels = []string{"A", "B", "C"}
+var indAttrs = []string{"x", "y"}
+
+// Generate implements quick.Generator.
+func (randINDSet) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(6)
+	set := make([]IND, n)
+	for i := range set {
+		set[i] = ind(
+			indRels[r.Intn(3)], indAttrs[r.Intn(2)],
+			indRels[r.Intn(3)], indAttrs[r.Intn(2)])
+	}
+	return reflect.ValueOf(randINDSet{Set: set})
+}
+
+// TestQuickMinimizeEquivalent: minimization never changes the implied
+// closure.
+func TestQuickMinimizeEquivalent(t *testing.T) {
+	f := func(rs randINDSet, probe randINDSet) bool {
+		set := NewINDSet(rs.Set...)
+		min := INDMinimize(set)
+		// Everything in the original follows from the minimal set.
+		for _, d := range rs.Set {
+			if !INDImplies(min, d) {
+				return false
+			}
+		}
+		// Probes agree between original and minimized.
+		for _, p := range probe.Set {
+			if INDImplies(rs.Set, p) != INDImplies(min, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickImplicationReflexiveTransitive: implication is reflexive on
+// members and closed under chaining.
+func TestQuickImplicationReflexiveTransitive(t *testing.T) {
+	f := func(rs randINDSet) bool {
+		for _, d := range rs.Set {
+			if !INDImplies(rs.Set, d) {
+				return false
+			}
+		}
+		// Chain any two compatible members.
+		for _, a := range rs.Set {
+			for _, b := range rs.Set {
+				if a.Right.Rel == b.Left.Rel && a.Right.Attrs[0] == b.Left.Attrs[0] {
+					if !INDImplies(rs.Set, NewIND(a.Left, b.Right)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package eer
+
+import (
+	"fmt"
+
+	"dbre/internal/table"
+)
+
+// Annotate refines a translated EER schema with cardinality and
+// participation information read from the database extension — an analysis
+// the paper leaves to the cited translation literature but that the same
+// extension access used by IND-Discovery supports directly:
+//
+//   - on a binary relationship R(N) — S(1), the N-side leg becomes "1"
+//     when the realizing foreign-key attributes are unique in R (the link
+//     is one-to-one on the data);
+//   - a leg is marked Optional when not every instance of its entity
+//     participates: the N side when the foreign key is nullable, the 1
+//     side when some target values are never referenced.
+//
+// Like every data-derived presumption in the method, annotations describe
+// the current extension and deserve expert validation before being read
+// as constraints.
+func Annotate(db *table.Database, s *Schema) error {
+	for _, r := range s.Relationships {
+		if len(r.Participants) != 2 {
+			continue
+		}
+		// Identify the N side (holds the foreign key) and the 1 side.
+		var nSide, oneSide *Participant
+		for i := range r.Participants {
+			switch r.Participants[i].Card {
+			case "N":
+				nSide = &r.Participants[i]
+			case "1":
+				oneSide = &r.Participants[i]
+			}
+		}
+		if nSide == nil || oneSide == nil {
+			continue // n-ary or already annotated differently
+		}
+		nTab, ok := db.Table(nSide.Entity)
+		if !ok {
+			return fmt.Errorf("eer: relationship %s references unknown relation %q", r.Name, nSide.Entity)
+		}
+		oneTab, ok := db.Table(oneSide.Entity)
+		if !ok {
+			return fmt.Errorf("eer: relationship %s references unknown relation %q", r.Name, oneSide.Entity)
+		}
+
+		// Row counts over the foreign key.
+		nonNull := countNonNull(nTab, nSide.Via)
+		if nonNull < 0 {
+			return fmt.Errorf("eer: relationship %s: unknown attributes %v in %s", r.Name, nSide.Via, nSide.Entity)
+		}
+		distinctFK, err := nTab.DistinctCount(nSide.Via)
+		if err != nil {
+			return err
+		}
+		// One-to-one on the data: every participating row has a distinct
+		// target.
+		if nonNull > 0 && distinctFK == nonNull {
+			nSide.Card = "1"
+		}
+		// N-side participation: partial iff some rows carry a NULL key.
+		nSide.Optional = nonNull < nTab.Len()
+
+		// 1-side participation: partial iff some target values are never
+		// referenced.
+		distinctTargets, err := oneTab.DistinctCount(oneSide.Via)
+		if err != nil {
+			return err
+		}
+		referenced, err := table.JoinDistinctCount(nTab, nSide.Via, oneTab, oneSide.Via)
+		if err != nil {
+			return err
+		}
+		oneSide.Optional = referenced < distinctTargets
+	}
+	return nil
+}
+
+// countNonNull counts rows with no NULL among the given attributes, or -1
+// when an attribute is unknown.
+func countNonNull(tab *table.Table, attrs []string) int {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		c, ok := tab.ColIndex(a)
+		if !ok {
+			return -1
+		}
+		cols[i] = c
+	}
+	n := 0
+	for i := 0; i < tab.Len(); i++ {
+		row := tab.Row(i)
+		ok := true
+		for _, c := range cols {
+			if row[c].IsNull() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}

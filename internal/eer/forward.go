@@ -1,0 +1,192 @@
+package eer
+
+import (
+	"fmt"
+	"sort"
+
+	"dbre/internal/deps"
+	"dbre/internal/relation"
+	"dbre/internal/value"
+)
+
+// ForwardMap translates an EER schema back into a relational schema with
+// key-based inclusion dependencies, following the modular mapping of
+// Markowitz and Shoshani that the paper cites as the design-time
+// counterpart of its reverse method:
+//
+//   - an entity-type becomes a relation keyed on its key attributes;
+//   - an is-a link becomes an inclusion of the subtype's key in the
+//     supertype's key;
+//   - a weak entity keeps its composite key and an inclusion from the
+//     borrowed key part to each owner;
+//   - a relationship-type becomes a relation whose key is the union of the
+//     participants' foreign keys (n-ary case), with one inclusion per leg;
+//     binary N:1 relationships collapse into the N-side relation's
+//     existing foreign-key attributes.
+//
+// Attribute types default to integer for borrowed keys when the schema
+// carries no type information (the EER metamodel stores names only).
+// The result is the (R, K, RIC)-shape input that Translate consumes, so
+// ForwardMap ∘ Translate is testable as a round trip.
+func ForwardMap(s *Schema) (*relation.Catalog, []deps.IND, error) {
+	cat, err := relation.NewCatalog()
+	if err != nil {
+		return nil, nil, err
+	}
+	var ric []deps.IND
+
+	// Entity-types (weak ones included: their full attribute lists are
+	// already recorded on the entity).
+	for _, e := range s.Entities {
+		if len(e.Attrs) == 0 {
+			return nil, nil, fmt.Errorf("eer: entity %s has no attributes", e.Name)
+		}
+		attrs := make([]relation.Attribute, len(e.Attrs))
+		for i, a := range e.Attrs {
+			attrs[i] = relation.Attribute{Name: a, Type: value.KindInt}
+		}
+		var uniques []relation.AttrSet
+		if len(e.Key) > 0 {
+			uniques = append(uniques, relation.NewAttrSet(e.Key...))
+		}
+		schema, err := relation.NewSchema(e.Name, attrs, uniques...)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cat.Add(schema); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Is-a links: subtype key included in supertype key.
+	for _, l := range s.ISA {
+		sub, ok := cat.Get(l.Sub)
+		if !ok {
+			return nil, nil, fmt.Errorf("eer: is-a from unknown entity %q", l.Sub)
+		}
+		super, ok := cat.Get(l.Super)
+		if !ok {
+			return nil, nil, fmt.Errorf("eer: is-a to unknown entity %q", l.Super)
+		}
+		subKey, ok1 := sub.PrimaryKey()
+		superKey, ok2 := super.PrimaryKey()
+		if !ok1 || !ok2 || subKey.Len() != superKey.Len() {
+			return nil, nil, fmt.Errorf("eer: is-a %s -> %s with incompatible keys", l.Sub, l.Super)
+		}
+		ric = append(ric, deps.NewIND(
+			deps.Side{Rel: l.Sub, Attrs: subKey.Names()},
+			deps.Side{Rel: l.Super, Attrs: superKey.Names()},
+		))
+	}
+
+	// Weak entities: the borrowed key part references each owner's key.
+	for _, e := range s.Entities {
+		if !e.Weak {
+			continue
+		}
+		for _, ownerName := range e.Owners {
+			owner, ok := cat.Get(ownerName)
+			if !ok {
+				return nil, nil, fmt.Errorf("eer: weak entity %s owned by unknown %q", e.Name, ownerName)
+			}
+			ownerKey, ok := owner.PrimaryKey()
+			if !ok {
+				return nil, nil, fmt.Errorf("eer: owner %s of %s has no key", ownerName, e.Name)
+			}
+			// The borrowed part is the intersection of the weak key with
+			// the owner's key attribute names.
+			borrowed := relation.NewAttrSet(e.Key...).Intersect(ownerKey)
+			if borrowed.IsEmpty() {
+				return nil, nil, fmt.Errorf("eer: weak entity %s borrows nothing from %s", e.Name, ownerName)
+			}
+			ric = append(ric, deps.NewIND(
+				deps.Side{Rel: e.Name, Attrs: borrowed.Names()},
+				deps.Side{Rel: ownerName, Attrs: borrowed.Names()},
+			))
+		}
+	}
+
+	// Relationship-types.
+	for _, r := range s.Relationships {
+		if isBinaryN1(r) {
+			// Collapsed representation: the N side already carries the
+			// foreign key; only the inclusion is emitted.
+			n, one := legs(r)
+			ric = append(ric, deps.NewIND(
+				deps.Side{Rel: n.Entity, Attrs: n.Via},
+				deps.Side{Rel: one.Entity, Attrs: one.Via},
+			))
+			continue
+		}
+		// N-ary (or N:N): a relation of its own keyed on the union of the
+		// participants' keys, one inclusion per leg.
+		var attrs []relation.Attribute
+		var keyNames []string
+		seen := map[string]bool{}
+		for _, p := range r.Participants {
+			for _, a := range p.Via {
+				if !seen[a] {
+					seen[a] = true
+					attrs = append(attrs, relation.Attribute{Name: a, Type: value.KindInt})
+					keyNames = append(keyNames, a)
+				}
+			}
+		}
+		for _, a := range r.Attrs {
+			if !seen[a] {
+				seen[a] = true
+				attrs = append(attrs, relation.Attribute{Name: a, Type: value.KindInt})
+			}
+		}
+		if len(keyNames) == 0 {
+			return nil, nil, fmt.Errorf("eer: relationship %s has no realizable legs", r.Name)
+		}
+		schema, err := relation.NewSchema(r.Name, attrs, relation.NewAttrSet(keyNames...))
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cat.Add(schema); err != nil {
+			return nil, nil, err
+		}
+		for _, p := range r.Participants {
+			target, ok := cat.Get(p.Entity)
+			if !ok {
+				return nil, nil, fmt.Errorf("eer: relationship %s references unknown entity %q", r.Name, p.Entity)
+			}
+			targetKey, ok := target.PrimaryKey()
+			if !ok {
+				return nil, nil, fmt.Errorf("eer: participant %s of %s has no key", p.Entity, r.Name)
+			}
+			ric = append(ric, deps.NewIND(
+				deps.Side{Rel: r.Name, Attrs: p.Via},
+				deps.Side{Rel: p.Entity, Attrs: targetKey.Names()},
+			))
+		}
+	}
+
+	deps.SortINDs(ric)
+	return cat, ric, nil
+}
+
+// isBinaryN1 reports whether the relationship is the collapsed binary
+// shape: exactly two legs, one N (or 1 after annotation) holding the
+// foreign key and one 1-side being referenced.
+func isBinaryN1(r *Relationship) bool {
+	if len(r.Participants) != 2 {
+		return false
+	}
+	cards := []string{r.Participants[0].Card, r.Participants[1].Card}
+	sort.Strings(cards)
+	return cards[0] == "1" // {1,N} or {1,1}
+}
+
+// legs returns the (N-side, 1-side) of a binary relationship.
+func legs(r *Relationship) (nSide, oneSide Participant) {
+	if r.Participants[0].Card == "1" && r.Participants[1].Card != "1" {
+		return r.Participants[1], r.Participants[0]
+	}
+	if r.Participants[1].Card == "1" {
+		return r.Participants[0], r.Participants[1]
+	}
+	return r.Participants[0], r.Participants[1]
+}

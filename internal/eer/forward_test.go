@@ -1,0 +1,184 @@
+package eer
+
+import (
+	"strings"
+	"testing"
+
+	"dbre/internal/relation"
+)
+
+// TestForwardMapPaperRoundTrip: forward-mapping the Figure 1 EER schema
+// yields a relational schema whose re-translation reproduces the same EER
+// structure — Translate and ForwardMap are inverse on the paper example.
+func TestForwardMapPaperRoundTrip(t *testing.T) {
+	original := paperEER(t)
+	cat, ric, err := ForwardMap(original)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The mapped catalog holds the 8 entity relations + Assignment.
+	if cat.Len() != 9 {
+		t.Fatalf("catalog = %v", cat.Names())
+	}
+	asg, ok := cat.Get("Assignment")
+	if !ok {
+		t.Fatal("Assignment relation missing")
+	}
+	pk, _ := asg.PrimaryKey()
+	if !pk.Equal(relation.NewAttrSet("emp", "dep", "proj")) {
+		t.Errorf("Assignment key = %v", pk)
+	}
+	if !asg.HasAttr("date") {
+		t.Error("relationship attribute lost")
+	}
+
+	// Re-translate and compare EER structure.
+	back, err := Translate(cat, ric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := names(back.Entities), names(original.Entities); got != want {
+		t.Errorf("entities: %s vs %s", got, want)
+	}
+	if len(back.ISA) != len(original.ISA) {
+		t.Errorf("ISA: %v vs %v", back.ISA, original.ISA)
+	}
+	if len(back.Relationships) != len(original.Relationships) {
+		t.Errorf("relationships: %d vs %d", len(back.Relationships), len(original.Relationships))
+	}
+	// The ternary relationship survives with the same participants.
+	asgRel, ok := back.Relationship("Assignment")
+	if !ok || len(asgRel.Participants) != 3 {
+		t.Fatalf("Assignment relationship = %+v", asgRel)
+	}
+	// The weak entity survives.
+	he, ok := back.Entity("HEmployee")
+	if !ok || !he.Weak || strings.Join(he.Owners, ",") != "Employee" {
+		t.Errorf("HEmployee = %+v", he)
+	}
+}
+
+func names(es []*Entity) string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Name
+	}
+	return strings.Join(out, ",")
+}
+
+func TestForwardMapBinaryCollapsed(t *testing.T) {
+	s := &Schema{
+		Entities: []*Entity{
+			{Name: "R", Attrs: []string{"id", "fk"}, Key: []string{"id"}},
+			{Name: "S", Attrs: []string{"sid"}, Key: []string{"sid"}},
+		},
+		Relationships: []*Relationship{{
+			Name: "R-S",
+			Participants: []Participant{
+				{Entity: "R", Via: []string{"fk"}, Card: "N"},
+				{Entity: "S", Via: []string{"sid"}, Card: "1"},
+			},
+		}},
+	}
+	cat, ric, err := ForwardMap(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Has("R-S") {
+		t.Error("binary N:1 relationship materialized as a relation")
+	}
+	if len(ric) != 1 || ric[0].String() != "R[fk] << S[sid]" {
+		t.Errorf("ric = %v", ric)
+	}
+}
+
+func TestForwardMapManyToMany(t *testing.T) {
+	s := &Schema{
+		Entities: []*Entity{
+			{Name: "A", Attrs: []string{"a"}, Key: []string{"a"}},
+			{Name: "B", Attrs: []string{"b"}, Key: []string{"b"}},
+		},
+		Relationships: []*Relationship{{
+			Name: "AB",
+			Participants: []Participant{
+				{Entity: "A", Via: []string{"a"}, Card: "N"},
+				{Entity: "B", Via: []string{"b"}, Card: "N"},
+			},
+			Attrs: []string{"since"},
+		}},
+	}
+	cat, ric, err := ForwardMap(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, ok := cat.Get("AB")
+	if !ok {
+		t.Fatal("AB relation missing")
+	}
+	pk, _ := ab.PrimaryKey()
+	if !pk.Equal(relation.NewAttrSet("a", "b")) {
+		t.Errorf("AB key = %v", pk)
+	}
+	if len(ric) != 2 {
+		t.Errorf("ric = %v", ric)
+	}
+}
+
+func TestForwardMapErrors(t *testing.T) {
+	cases := []*Schema{
+		{Entities: []*Entity{{Name: "E"}}}, // no attributes
+		{ISA: []ISALink{{Sub: "X", Super: "Y"}}},
+		{
+			Entities: []*Entity{
+				{Name: "A", Attrs: []string{"a"}, Key: []string{"a"}},
+				{Name: "B", Attrs: []string{"b", "c"}, Key: []string{"b", "c"}},
+			},
+			ISA: []ISALink{{Sub: "A", Super: "B"}}, // incompatible keys
+		},
+		{
+			Entities: []*Entity{
+				{Name: "W", Attrs: []string{"k"}, Key: []string{"k"}, Weak: true, Owners: []string{"Ghost"}},
+			},
+		},
+		{
+			Entities: []*Entity{
+				{Name: "W", Attrs: []string{"k"}, Key: []string{"k"}, Weak: true, Owners: []string{"O"}},
+				{Name: "O", Attrs: []string{"different"}, Key: []string{"different"}},
+			}, // weak entity borrows nothing
+		},
+		{
+			Relationships: []*Relationship{{
+				Name: "X",
+				Participants: []Participant{
+					{Entity: "Nope", Via: []string{"v"}, Card: "N"},
+					{Entity: "Nope2", Via: []string{"w"}, Card: "N"},
+				},
+			}},
+		},
+	}
+	for i, s := range cases {
+		if _, _, err := ForwardMap(s); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestForwardMapRICAreKeyBased(t *testing.T) {
+	// Every emitted IND's right side is a declared key — the defining
+	// property of the design-time mapping the paper builds on.
+	original := paperEER(t)
+	cat, ric, err := ForwardMap(original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ric {
+		s, ok := cat.Get(d.Right.Rel)
+		if !ok {
+			t.Fatalf("IND references unknown relation %s", d.Right.Rel)
+		}
+		if !s.IsKey(relation.NewAttrSet(d.Right.Attrs...)) {
+			t.Errorf("IND %s is not key-based", d)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package eer
+
+import (
+	"fmt"
+	"sort"
+
+	"dbre/internal/deps"
+	"dbre/internal/relation"
+)
+
+// Translate maps a restructured relational schema with key and referential
+// integrity constraints onto EER structures, following the paper's sketch:
+//
+//	a) a RIC whose left-hand side is a key of its relation elicits an
+//	   is-a link;
+//	b) when the left-hand sides of a relation's RICs partition its key
+//	   (each part the LHS of some RIC), the relation becomes an n-ary
+//	   many-to-many relationship-type; a partial cover makes it a weak
+//	   entity-type;
+//	c) a RIC whose left-hand side is disjoint from the key elicits a
+//	   binary relationship-type.
+//
+// As in the paper, cyclic inclusion dependencies are out of scope: cycles
+// among is-a candidates are broken and reported in Schema.Skipped.
+func Translate(catalog *relation.Catalog, ric []deps.IND) (*Schema, error) {
+	out := &Schema{}
+
+	// Group RICs by left relation, dropping tautologies defensively.
+	byLeft := make(map[string][]deps.IND)
+	for _, d := range ric {
+		if d.Left.Equal(d.Right) {
+			out.Skipped = append(out.Skipped, fmt.Sprintf("trivial inclusion dependency %s", d))
+			continue
+		}
+		if !catalog.Has(d.Left.Rel) {
+			return nil, fmt.Errorf("eer: RIC references unknown relation %q", d.Left.Rel)
+		}
+		if !catalog.Has(d.Right.Rel) {
+			return nil, fmt.Errorf("eer: RIC references unknown relation %q", d.Right.Rel)
+		}
+		byLeft[d.Left.Rel] = append(byLeft[d.Left.Rel], d)
+	}
+
+	// Pass 1: detect is-a links (case a), breaking cycles deterministically.
+	isaEdges := make(map[string][]deps.IND)
+	var rels []string
+	for _, s := range catalog.Schemas() {
+		rels = append(rels, s.Name)
+	}
+	sort.Strings(rels)
+	inCycleCheck := func(sub, super string) bool {
+		// Would adding sub→super close a cycle over existing is-a edges?
+		seen := map[string]bool{}
+		var walk func(n string) bool
+		walk = func(n string) bool {
+			if n == sub {
+				return true
+			}
+			if seen[n] {
+				return false
+			}
+			seen[n] = true
+			for _, e := range isaEdges[n] {
+				if walk(e.Right.Rel) {
+					return true
+				}
+			}
+			return false
+		}
+		return walk(super)
+	}
+	relationshipRICs := make(map[string][]deps.IND) // remaining per relation
+	for _, rel := range rels {
+		schema, _ := catalog.Get(rel)
+		for _, d := range byLeft[rel] {
+			leftSet := relation.NewAttrSet(d.Left.Attrs...)
+			if schema.IsKey(leftSet) {
+				if inCycleCheck(rel, d.Right.Rel) {
+					out.Skipped = append(out.Skipped,
+						fmt.Sprintf("cyclic inclusion dependency %s (is-a cycle)", d))
+					continue
+				}
+				isaEdges[rel] = append(isaEdges[rel], d)
+				out.ISA = append(out.ISA, ISALink{Sub: rel, Super: d.Right.Rel})
+				continue
+			}
+			relationshipRICs[rel] = append(relationshipRICs[rel], d)
+		}
+	}
+
+	// Pass 2: classify each relation.
+	relationshipRel := make(map[string]bool)
+	weakOwners := make(map[string][]string)
+	for _, rel := range rels {
+		schema, _ := catalog.Get(rel)
+		key, hasKey := schema.PrimaryKey()
+		if !hasKey {
+			continue
+		}
+		var keyParts []deps.IND
+		for _, d := range relationshipRICs[rel] {
+			leftSet := relation.NewAttrSet(d.Left.Attrs...)
+			if key.ContainsAll(leftSet) {
+				keyParts = append(keyParts, d)
+			}
+		}
+		if len(keyParts) == 0 {
+			continue
+		}
+		// Do the key-part LHSs partition the key (case b)?
+		var covered relation.AttrSet
+		disjoint := true
+		for _, d := range keyParts {
+			leftSet := relation.NewAttrSet(d.Left.Attrs...)
+			if !covered.Intersect(leftSet).IsEmpty() {
+				disjoint = false
+			}
+			covered = covered.Union(leftSet)
+		}
+		if disjoint && covered.Equal(key) && len(keyParts) >= 2 {
+			relationshipRel[rel] = true
+		} else {
+			for _, d := range keyParts {
+				weakOwners[rel] = append(weakOwners[rel], d.Right.Rel)
+			}
+		}
+	}
+
+	// Pass 3: materialize entity-types and relationship-types.
+	for _, rel := range rels {
+		schema, _ := catalog.Get(rel)
+		key, _ := schema.PrimaryKey()
+		var attrs []string
+		for _, a := range schema.Attrs {
+			attrs = append(attrs, a.Name)
+		}
+		if relationshipRel[rel] {
+			r := &Relationship{Name: rel}
+			var fk relation.AttrSet
+			for _, d := range relationshipRICs[rel] {
+				leftSet := relation.NewAttrSet(d.Left.Attrs...)
+				if !key.ContainsAll(leftSet) {
+					continue
+				}
+				fk = fk.Union(leftSet)
+				r.Participants = append(r.Participants, Participant{
+					Entity: d.Right.Rel,
+					Via:    d.Left.Attrs,
+					Card:   "N",
+				})
+			}
+			for _, a := range attrs {
+				if !fk.Contains(a) {
+					r.Attrs = append(r.Attrs, a)
+				}
+			}
+			out.Relationships = append(out.Relationships, r)
+			continue
+		}
+		e := &Entity{Name: rel, Attrs: attrs, Key: key.Names()}
+		if owners := weakOwners[rel]; len(owners) > 0 {
+			e.Weak = true
+			sort.Strings(owners)
+			e.Owners = owners
+		}
+		out.Entities = append(out.Entities, e)
+	}
+
+	// Pass 4: binary relationship-types from non-key RICs (case c).
+	for _, rel := range rels {
+		schema, _ := catalog.Get(rel)
+		key, _ := schema.PrimaryKey()
+		for _, d := range relationshipRICs[rel] {
+			leftSet := relation.NewAttrSet(d.Left.Attrs...)
+			if key.ContainsAll(leftSet) {
+				continue // handled as case b
+			}
+			if relationshipRel[rel] {
+				out.Skipped = append(out.Skipped,
+					fmt.Sprintf("non-key RIC %s on relationship-type %s", d, rel))
+				continue
+			}
+			out.Relationships = append(out.Relationships, &Relationship{
+				Name: rel + "-" + d.Right.Rel,
+				Participants: []Participant{
+					{Entity: rel, Via: d.Left.Attrs, Card: "N"},
+					{Entity: d.Right.Rel, Via: d.Right.Attrs, Card: "1"},
+				},
+			})
+		}
+	}
+
+	out.sort()
+	return out, nil
+}

@@ -1,0 +1,461 @@
+// Package expert models the expert user of the paper's interactive method.
+// Every place where "the expert user decides" becomes a call on the Oracle
+// interface: NEI arbitration during IND-Discovery, FD validation and
+// enforcement during RHS-Discovery, hidden-object conceptualization, and
+// the naming of new relations during Restruct.
+//
+// Implementations: Auto (threshold policies, for batch runs and benches),
+// Scripted (deterministic replay, for reproducing the paper's session),
+// Interactive (terminal prompts), and Recording (an audit-log wrapper).
+package expert
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"dbre/internal/deps"
+	"dbre/internal/relation"
+)
+
+// NEIAction is the expert's choice when IND-Discovery finds a Non-Empty
+// Intersection that is neither of the two value sets (cases (iv)-(vii) of
+// the algorithm).
+type NEIAction int
+
+// The four NEI outcomes of the paper.
+const (
+	// NEIIgnore drops the interrelation dependency (case vii).
+	NEIIgnore NEIAction = iota
+	// NEINewRelation conceptualizes the intersection as a new relation
+	// R_p(A_p) added to S (case iv).
+	NEINewRelation
+	// NEIForceLeft enforces Left ≪ Right against the extension (case vi).
+	NEIForceLeft
+	// NEIForceRight enforces Right ≪ Left against the extension (case v).
+	NEIForceRight
+)
+
+// String names the action.
+func (a NEIAction) String() string {
+	switch a {
+	case NEIIgnore:
+		return "ignore"
+	case NEINewRelation:
+		return "new-relation"
+	case NEIForceLeft:
+		return "force-left-in-right"
+	case NEIForceRight:
+		return "force-right-in-left"
+	default:
+		return "?"
+	}
+}
+
+// NEIContext carries everything the expert sees when arbitrating a NEI.
+type NEIContext struct {
+	Join deps.EquiJoin
+	NK   int // ‖r_k[A_k]‖ — distinct values on the left
+	NL   int // ‖r_l[A_l]‖ — distinct values on the right
+	NKL  int // ‖r_k[A_k] ⋈ r_l[A_l]‖ — distinct shared values
+}
+
+// NEIDecision is the expert's answer.
+type NEIDecision struct {
+	Action NEIAction
+	// Name is the relation name for NEINewRelation; when empty a name is
+	// generated from the attributes.
+	Name string
+}
+
+// FDSupport summarizes the evidence for a candidate FD right-hand side.
+type FDSupport struct {
+	Rows       int // tuples inspected
+	Violations int // tuples contradicting A → b (0 when the FD holds)
+}
+
+// Holds reports whether the data supports the dependency outright.
+func (s FDSupport) Holds() bool { return s.Violations == 0 }
+
+// NameKind tells the oracle what the new relation will represent.
+type NameKind int
+
+// Relation-naming occasions.
+const (
+	// NameHiddenObject names the relation created for a hidden object
+	// (e.g. Employee for HEmployee.no).
+	NameHiddenObject NameKind = iota
+	// NameFDSplit names the relation created when an FD is split out
+	// (e.g. Manager for Department: emp → skill, proj).
+	NameFDSplit
+	// NameNEI names the relation conceptualizing a non-empty
+	// intersection (e.g. Ass-Dept).
+	NameNEI
+)
+
+// String names the kind.
+func (k NameKind) String() string {
+	switch k {
+	case NameHiddenObject:
+		return "hidden-object"
+	case NameFDSplit:
+		return "fd-split"
+	case NameNEI:
+		return "nei"
+	default:
+		return "?"
+	}
+}
+
+// Oracle is the expert user. Implementations must be deterministic for a
+// given input if reproducible runs are wanted.
+type Oracle interface {
+	// DecideNEI arbitrates a non-empty intersection.
+	DecideNEI(ctx NEIContext) NEIDecision
+	// ValidateFD confirms a data-supported FD before it enters F.
+	ValidateFD(fd deps.FD, support FDSupport) bool
+	// EnforceFD may force A → attr into B although the extension refutes
+	// it (case (ii) of RHS-Discovery).
+	EnforceFD(rel string, lhs relation.AttrSet, attr string, support FDSupport) bool
+	// ConceptualizeHidden decides whether an empty-RHS candidate becomes
+	// a hidden object (case (iv) of RHS-Discovery).
+	ConceptualizeHidden(ref relation.Ref) bool
+	// NameRelation chooses the name of a new relation; suggested is a
+	// generated default the implementation may simply return.
+	NameRelation(kind NameKind, base relation.Ref, suggested string) string
+}
+
+// Auto is a policy-driven oracle for non-interactive runs. Its thresholds
+// express how much the operator trusts the extension.
+type Auto struct {
+	// InclusionSlack tolerates near-inclusions: when NKL ≥ slack·min(NK,
+	// NL) the smaller side is forced included in the larger (the expert
+	// "disregards the database extension"). 1.0 disables forcing; the
+	// IND-Discovery algorithm itself has already handled exact inclusion.
+	InclusionSlack float64
+	// MinOverlap is the fraction of the smaller value set that must be
+	// shared before a NEI is worth conceptualizing; below it the NEI is
+	// ignored as noise.
+	MinOverlap float64
+	// ConceptualizeNEI enables creating new relations for NEIs.
+	ConceptualizeNEI bool
+	// ConceptualizeHiddenObjects enables hidden-object creation for
+	// empty-RHS candidates.
+	ConceptualizeHiddenObjects bool
+	// MaxViolationRate is the largest fraction of violating tuples for
+	// which a refuted FD is still enforced (dirty-data tolerance).
+	MaxViolationRate float64
+}
+
+// NewAuto returns the default automatic policy: trust the extension, accept
+// every supported FD, conceptualize hidden objects, never force dirty
+// dependencies.
+func NewAuto() *Auto {
+	return &Auto{
+		InclusionSlack:             0.98,
+		MinOverlap:                 0.05,
+		ConceptualizeNEI:           true,
+		ConceptualizeHiddenObjects: true,
+		MaxViolationRate:           0,
+	}
+}
+
+// DecideNEI implements Oracle.
+func (a *Auto) DecideNEI(ctx NEIContext) NEIDecision {
+	small := ctx.NK
+	if ctx.NL < small {
+		small = ctx.NL
+	}
+	if small == 0 {
+		return NEIDecision{Action: NEIIgnore}
+	}
+	frac := float64(ctx.NKL) / float64(small)
+	if a.InclusionSlack < 1 && frac >= a.InclusionSlack {
+		if ctx.NK <= ctx.NL {
+			return NEIDecision{Action: NEIForceLeft}
+		}
+		return NEIDecision{Action: NEIForceRight}
+	}
+	if a.ConceptualizeNEI && frac >= a.MinOverlap {
+		return NEIDecision{Action: NEINewRelation}
+	}
+	return NEIDecision{Action: NEIIgnore}
+}
+
+// ValidateFD implements Oracle: data-supported FDs are accepted.
+func (a *Auto) ValidateFD(deps.FD, FDSupport) bool { return true }
+
+// EnforceFD implements Oracle. It is only consulted for refuted
+// dependencies; the answer is yes when the violation rate is within the
+// configured dirty-data tolerance.
+func (a *Auto) EnforceFD(_ string, _ relation.AttrSet, _ string, support FDSupport) bool {
+	if support.Rows == 0 || a.MaxViolationRate <= 0 {
+		return false
+	}
+	return float64(support.Violations)/float64(support.Rows) <= a.MaxViolationRate
+}
+
+// ConceptualizeHidden implements Oracle.
+func (a *Auto) ConceptualizeHidden(relation.Ref) bool { return a.ConceptualizeHiddenObjects }
+
+// NameRelation implements Oracle: the generated suggestion is kept.
+func (a *Auto) NameRelation(_ NameKind, _ relation.Ref, suggested string) string {
+	return suggested
+}
+
+// Scripted replays a fixed set of expert answers, keyed by the decision
+// subject; unkeyed decisions fall back to the Default oracle. It is how the
+// paper's exact interactive session is reproduced in tests and benches.
+type Scripted struct {
+	// NEI maps an equi-join key (deps.EquiJoin.Key()) to its decision.
+	NEI map[string]NEIDecision
+	// AcceptFD maps an FD string (deps.FD.String()) to its validation.
+	AcceptFD map[string]bool
+	// Enforce maps "rel:lhs->attr" to forced-FD answers.
+	Enforce map[string]bool
+	// Hidden maps a Ref key (relation.Ref.Key()) to conceptualization.
+	Hidden map[string]bool
+	// Names maps a Ref key to the chosen relation name.
+	Names map[string]string
+	// Default answers anything not scripted; nil means a conservative
+	// refuse-everything fallback.
+	Default Oracle
+}
+
+// NewScripted returns an empty script with a conservative fallback.
+func NewScripted() *Scripted {
+	return &Scripted{
+		NEI:      make(map[string]NEIDecision),
+		AcceptFD: make(map[string]bool),
+		Enforce:  make(map[string]bool),
+		Hidden:   make(map[string]bool),
+		Names:    make(map[string]string),
+	}
+}
+
+// EnforceKey builds the Enforce map key.
+func EnforceKey(rel string, lhs relation.AttrSet, attr string) string {
+	return rel + ":" + lhs.Key() + "->" + attr
+}
+
+// DecideNEI implements Oracle.
+func (s *Scripted) DecideNEI(ctx NEIContext) NEIDecision {
+	if d, ok := s.NEI[ctx.Join.Key()]; ok {
+		return d
+	}
+	if s.Default != nil {
+		return s.Default.DecideNEI(ctx)
+	}
+	return NEIDecision{Action: NEIIgnore}
+}
+
+// ValidateFD implements Oracle.
+func (s *Scripted) ValidateFD(fd deps.FD, support FDSupport) bool {
+	if v, ok := s.AcceptFD[fd.String()]; ok {
+		return v
+	}
+	if s.Default != nil {
+		return s.Default.ValidateFD(fd, support)
+	}
+	return true // validation defaults to trusting the data
+}
+
+// EnforceFD implements Oracle.
+func (s *Scripted) EnforceFD(rel string, lhs relation.AttrSet, attr string, support FDSupport) bool {
+	if v, ok := s.Enforce[EnforceKey(rel, lhs, attr)]; ok {
+		return v
+	}
+	if s.Default != nil {
+		return s.Default.EnforceFD(rel, lhs, attr, support)
+	}
+	return false
+}
+
+// ConceptualizeHidden implements Oracle.
+func (s *Scripted) ConceptualizeHidden(ref relation.Ref) bool {
+	if v, ok := s.Hidden[ref.Key()]; ok {
+		return v
+	}
+	if s.Default != nil {
+		return s.Default.ConceptualizeHidden(ref)
+	}
+	return false
+}
+
+// NameRelation implements Oracle.
+func (s *Scripted) NameRelation(kind NameKind, base relation.Ref, suggested string) string {
+	if n, ok := s.Names[base.Key()]; ok {
+		return n
+	}
+	if s.Default != nil {
+		return s.Default.NameRelation(kind, base, suggested)
+	}
+	return suggested
+}
+
+// Decision is one audit-log entry.
+type Decision struct {
+	Point   string // which algorithm asked
+	Subject string // what was asked about
+	Answer  string // what the expert answered
+}
+
+// String renders the entry.
+func (d Decision) String() string {
+	return fmt.Sprintf("[%s] %s => %s", d.Point, d.Subject, d.Answer)
+}
+
+// Recording wraps an oracle and logs every decision.
+type Recording struct {
+	Inner Oracle
+	Log   []Decision
+}
+
+// NewRecording wraps inner.
+func NewRecording(inner Oracle) *Recording { return &Recording{Inner: inner} }
+
+func (r *Recording) record(point, subject, answer string) {
+	r.Log = append(r.Log, Decision{Point: point, Subject: subject, Answer: answer})
+}
+
+// DecideNEI implements Oracle.
+func (r *Recording) DecideNEI(ctx NEIContext) NEIDecision {
+	d := r.Inner.DecideNEI(ctx)
+	subject := fmt.Sprintf("%s (Nk=%d Nl=%d Nkl=%d)", ctx.Join, ctx.NK, ctx.NL, ctx.NKL)
+	answer := d.Action.String()
+	if d.Action == NEINewRelation && d.Name != "" {
+		answer += " " + d.Name
+	}
+	r.record("IND-Discovery/NEI", subject, answer)
+	return d
+}
+
+// ValidateFD implements Oracle.
+func (r *Recording) ValidateFD(fd deps.FD, support FDSupport) bool {
+	v := r.Inner.ValidateFD(fd, support)
+	r.record("RHS-Discovery/validate", fd.String(), fmt.Sprintf("%v", v))
+	return v
+}
+
+// EnforceFD implements Oracle.
+func (r *Recording) EnforceFD(rel string, lhs relation.AttrSet, attr string, support FDSupport) bool {
+	v := r.Inner.EnforceFD(rel, lhs, attr, support)
+	r.record("RHS-Discovery/enforce",
+		fmt.Sprintf("%s: %s -> %s (%d/%d violations)", rel, lhs, attr, support.Violations, support.Rows),
+		fmt.Sprintf("%v", v))
+	return v
+}
+
+// ConceptualizeHidden implements Oracle.
+func (r *Recording) ConceptualizeHidden(ref relation.Ref) bool {
+	v := r.Inner.ConceptualizeHidden(ref)
+	r.record("RHS-Discovery/hidden-object", ref.String(), fmt.Sprintf("%v", v))
+	return v
+}
+
+// NameRelation implements Oracle.
+func (r *Recording) NameRelation(kind NameKind, base relation.Ref, suggested string) string {
+	n := r.Inner.NameRelation(kind, base, suggested)
+	r.record("Restruct/name "+kind.String(), base.String(), n)
+	return n
+}
+
+// Interactive prompts a human on in/out; empty answers take the default
+// shown in the prompt.
+type Interactive struct {
+	in  *bufio.Reader
+	out io.Writer
+}
+
+// NewInteractive builds an interactive oracle over the given streams.
+func NewInteractive(in io.Reader, out io.Writer) *Interactive {
+	return &Interactive{in: bufio.NewReader(in), out: out}
+}
+
+func (i *Interactive) ask(prompt string) string {
+	fmt.Fprint(i.out, prompt)
+	line, err := i.in.ReadString('\n')
+	if err != nil && line == "" {
+		return ""
+	}
+	return strings.TrimSpace(line)
+}
+
+func (i *Interactive) askYesNo(prompt string, def bool) bool {
+	d := "y/N"
+	if def {
+		d = "Y/n"
+	}
+	ans := strings.ToLower(i.ask(prompt + " [" + d + "] "))
+	if ans == "" {
+		return def
+	}
+	return ans == "y" || ans == "yes"
+}
+
+// DecideNEI implements Oracle.
+func (i *Interactive) DecideNEI(ctx NEIContext) NEIDecision {
+	fmt.Fprintf(i.out, "\nNon-empty intersection on %s\n", ctx.Join)
+	fmt.Fprintf(i.out, "  |left| = %d, |right| = %d, |shared| = %d\n", ctx.NK, ctx.NL, ctx.NKL)
+	fmt.Fprintln(i.out, "  (n) conceptualize as a new relation")
+	fmt.Fprintln(i.out, "  (l) force left << right")
+	fmt.Fprintln(i.out, "  (r) force right << left")
+	fmt.Fprintln(i.out, "  (i) ignore  [default]")
+	switch strings.ToLower(i.ask("choice: ")) {
+	case "n":
+		name := i.ask("relation name: ")
+		return NEIDecision{Action: NEINewRelation, Name: name}
+	case "l":
+		return NEIDecision{Action: NEIForceLeft}
+	case "r":
+		return NEIDecision{Action: NEIForceRight}
+	default:
+		return NEIDecision{Action: NEIIgnore}
+	}
+}
+
+// ValidateFD implements Oracle.
+func (i *Interactive) ValidateFD(fd deps.FD, support FDSupport) bool {
+	return i.askYesNo(fmt.Sprintf("\nFD %s holds on %d tuples. Keep it?", fd, support.Rows), true)
+}
+
+// EnforceFD implements Oracle.
+func (i *Interactive) EnforceFD(rel string, lhs relation.AttrSet, attr string, support FDSupport) bool {
+	return i.askYesNo(fmt.Sprintf("\nFD %s: %s -> %s is violated by %d of %d tuples. Enforce anyway?",
+		rel, lhs, attr, support.Violations, support.Rows), false)
+}
+
+// ConceptualizeHidden implements Oracle.
+func (i *Interactive) ConceptualizeHidden(ref relation.Ref) bool {
+	return i.askYesNo(fmt.Sprintf("\n%s has no right-hand side. Conceptualize it as a hidden object?", ref), false)
+}
+
+// NameRelation implements Oracle.
+func (i *Interactive) NameRelation(kind NameKind, base relation.Ref, suggested string) string {
+	n := i.ask(fmt.Sprintf("\nName for the new %s relation from %s [%s]: ", kind, base, suggested))
+	if n == "" {
+		return suggested
+	}
+	return n
+}
+
+// Deny refuses every optional action: no NEI conceptualization, no forced
+// FDs, no hidden objects. It is the most conservative expert and useful as
+// a baseline ("what does the method recover with zero expert help?").
+type Deny struct{}
+
+// DecideNEI implements Oracle.
+func (Deny) DecideNEI(NEIContext) NEIDecision { return NEIDecision{Action: NEIIgnore} }
+
+// ValidateFD implements Oracle.
+func (Deny) ValidateFD(deps.FD, FDSupport) bool { return true }
+
+// EnforceFD implements Oracle.
+func (Deny) EnforceFD(string, relation.AttrSet, string, FDSupport) bool { return false }
+
+// ConceptualizeHidden implements Oracle.
+func (Deny) ConceptualizeHidden(relation.Ref) bool { return false }
+
+// NameRelation implements Oracle.
+func (Deny) NameRelation(_ NameKind, _ relation.Ref, suggested string) string { return suggested }

@@ -1,0 +1,225 @@
+package expert
+
+import (
+	"strings"
+	"testing"
+
+	"dbre/internal/deps"
+	"dbre/internal/relation"
+)
+
+func join() deps.EquiJoin {
+	return deps.NewEquiJoin(deps.NewSide("Assignment", "dep"), deps.NewSide("Department", "dep"))
+}
+
+func TestAutoDecideNEI(t *testing.T) {
+	a := NewAuto()
+	// Healthy overlap → new relation.
+	d := a.DecideNEI(NEIContext{Join: join(), NK: 150, NL: 125, NKL: 100})
+	if d.Action != NEINewRelation {
+		t.Errorf("overlap 100/125 → %v", d.Action)
+	}
+	// Near-inclusion → force smaller side.
+	d = a.DecideNEI(NEIContext{Join: join(), NK: 100, NL: 1000, NKL: 99})
+	if d.Action != NEIForceLeft {
+		t.Errorf("99/100 → %v", d.Action)
+	}
+	d = a.DecideNEI(NEIContext{Join: join(), NK: 1000, NL: 100, NKL: 99})
+	if d.Action != NEIForceRight {
+		t.Errorf("99/100 right → %v", d.Action)
+	}
+	// Tiny overlap → ignore.
+	d = a.DecideNEI(NEIContext{Join: join(), NK: 1000, NL: 1000, NKL: 3})
+	if d.Action != NEIIgnore {
+		t.Errorf("3/1000 → %v", d.Action)
+	}
+	// Degenerate.
+	d = a.DecideNEI(NEIContext{Join: join(), NK: 0, NL: 0, NKL: 0})
+	if d.Action != NEIIgnore {
+		t.Errorf("empty → %v", d.Action)
+	}
+	// Conceptualization disabled.
+	a2 := NewAuto()
+	a2.ConceptualizeNEI = false
+	d = a2.DecideNEI(NEIContext{Join: join(), NK: 150, NL: 125, NKL: 100})
+	if d.Action != NEIIgnore {
+		t.Errorf("disabled → %v", d.Action)
+	}
+}
+
+func TestAutoFDPolicies(t *testing.T) {
+	a := NewAuto()
+	if !a.ValidateFD(deps.FD{}, FDSupport{Rows: 10}) {
+		t.Error("supported FD rejected")
+	}
+	if a.EnforceFD("R", relation.NewAttrSet("a"), "b", FDSupport{Rows: 100, Violations: 1}) {
+		t.Error("zero-tolerance policy enforced a dirty FD")
+	}
+	a.MaxViolationRate = 0.05
+	if !a.EnforceFD("R", relation.NewAttrSet("a"), "b", FDSupport{Rows: 100, Violations: 4}) {
+		t.Error("4% violations not tolerated at 5%")
+	}
+	if a.EnforceFD("R", relation.NewAttrSet("a"), "b", FDSupport{Rows: 100, Violations: 10}) {
+		t.Error("10% violations tolerated at 5%")
+	}
+	if a.EnforceFD("R", relation.NewAttrSet("a"), "b", FDSupport{}) {
+		t.Error("no-data FD enforced")
+	}
+	if !a.ConceptualizeHidden(relation.NewRef("R", "x")) {
+		t.Error("hidden objects disabled by default")
+	}
+	if got := a.NameRelation(NameHiddenObject, relation.NewRef("R", "x"), "Sugg"); got != "Sugg" {
+		t.Errorf("NameRelation = %q", got)
+	}
+}
+
+func TestFDSupportHolds(t *testing.T) {
+	if !(FDSupport{Rows: 5}).Holds() {
+		t.Error("clean support does not hold")
+	}
+	if (FDSupport{Rows: 5, Violations: 1}).Holds() {
+		t.Error("dirty support holds")
+	}
+}
+
+func TestScripted(t *testing.T) {
+	s := NewScripted()
+	q := join()
+	s.NEI[q.Key()] = NEIDecision{Action: NEINewRelation, Name: "Ass-Dept"}
+	fd := deps.NewFD("Department", relation.NewAttrSet("emp"), relation.NewAttrSet("proj", "skill"))
+	s.AcceptFD[fd.String()] = true
+	s.Enforce[EnforceKey("R", relation.NewAttrSet("a"), "b")] = true
+	ref := relation.NewRef("HEmployee", "no")
+	s.Hidden[ref.Key()] = true
+	s.Names[ref.Key()] = "Employee"
+
+	if d := s.DecideNEI(NEIContext{Join: q}); d.Action != NEINewRelation || d.Name != "Ass-Dept" {
+		t.Errorf("scripted NEI = %+v", d)
+	}
+	if !s.ValidateFD(fd, FDSupport{}) {
+		t.Error("scripted FD rejected")
+	}
+	if !s.EnforceFD("R", relation.NewAttrSet("a"), "b", FDSupport{}) {
+		t.Error("scripted enforce lost")
+	}
+	if !s.ConceptualizeHidden(ref) {
+		t.Error("scripted hidden lost")
+	}
+	if got := s.NameRelation(NameHiddenObject, ref, "X"); got != "Employee" {
+		t.Errorf("scripted name = %q", got)
+	}
+
+	// Unscripted decisions fall back conservatively.
+	other := deps.NewEquiJoin(deps.NewSide("A", "x"), deps.NewSide("B", "y"))
+	if d := s.DecideNEI(NEIContext{Join: other}); d.Action != NEIIgnore {
+		t.Errorf("fallback NEI = %v", d.Action)
+	}
+	if s.EnforceFD("R", relation.NewAttrSet("z"), "b", FDSupport{}) {
+		t.Error("fallback enforce = true")
+	}
+	if s.ConceptualizeHidden(relation.NewRef("X", "y")) {
+		t.Error("fallback hidden = true")
+	}
+	if !s.ValidateFD(deps.FD{Rel: "Other"}, FDSupport{}) {
+		t.Error("fallback validation rejects")
+	}
+	if got := s.NameRelation(NameFDSplit, relation.NewRef("X", "y"), "Def"); got != "Def" {
+		t.Errorf("fallback name = %q", got)
+	}
+
+	// With an explicit Default oracle.
+	s.Default = NewAuto()
+	if d := s.DecideNEI(NEIContext{Join: other, NK: 10, NL: 10, NKL: 8}); d.Action != NEINewRelation {
+		t.Errorf("default-oracle NEI = %v", d.Action)
+	}
+}
+
+func TestRecording(t *testing.T) {
+	r := NewRecording(NewAuto())
+	r.DecideNEI(NEIContext{Join: join(), NK: 150, NL: 125, NKL: 100})
+	r.ValidateFD(deps.NewFD("R", relation.NewAttrSet("a"), relation.NewAttrSet("b")), FDSupport{Rows: 9})
+	r.EnforceFD("R", relation.NewAttrSet("a"), "c", FDSupport{Rows: 9, Violations: 2})
+	r.ConceptualizeHidden(relation.NewRef("R", "a"))
+	r.NameRelation(NameNEI, relation.NewRef("R", "a"), "N")
+	if len(r.Log) != 5 {
+		t.Fatalf("log has %d entries", len(r.Log))
+	}
+	if !strings.Contains(r.Log[0].String(), "IND-Discovery/NEI") {
+		t.Errorf("log[0] = %s", r.Log[0])
+	}
+	if !strings.Contains(r.Log[2].String(), "violations") {
+		t.Errorf("log[2] = %s", r.Log[2])
+	}
+}
+
+func TestInteractive(t *testing.T) {
+	in := strings.NewReader("n\nAss-Dept\ny\n\nn\nBetterName\nl\nr\nx\n")
+	var out strings.Builder
+	i := NewInteractive(in, &out)
+
+	d := i.DecideNEI(NEIContext{Join: join(), NK: 1, NL: 2, NKL: 1})
+	if d.Action != NEINewRelation || d.Name != "Ass-Dept" {
+		t.Errorf("interactive NEI = %+v", d)
+	}
+	if !i.ValidateFD(deps.NewFD("R", relation.NewAttrSet("a"), relation.NewAttrSet("b")), FDSupport{}) {
+		t.Error("y not accepted")
+	}
+	// Empty answer takes the default (false for enforce).
+	if i.EnforceFD("R", relation.NewAttrSet("a"), "b", FDSupport{Rows: 1, Violations: 1}) {
+		t.Error("default enforce should be false")
+	}
+	if i.ConceptualizeHidden(relation.NewRef("R", "a")) {
+		t.Error("n accepted as yes")
+	}
+	if got := i.NameRelation(NameFDSplit, relation.NewRef("R", "a"), "Def"); got != "BetterName" {
+		t.Errorf("name = %q", got)
+	}
+	if d := i.DecideNEI(NEIContext{Join: join()}); d.Action != NEIForceLeft {
+		t.Errorf("l = %v", d.Action)
+	}
+	if d := i.DecideNEI(NEIContext{Join: join()}); d.Action != NEIForceRight {
+		t.Errorf("r = %v", d.Action)
+	}
+	// Unknown answer → ignore; EOF afterwards → defaults.
+	if d := i.DecideNEI(NEIContext{Join: join()}); d.Action != NEIIgnore {
+		t.Errorf("x = %v", d.Action)
+	}
+	if got := i.NameRelation(NameNEI, relation.NewRef("R", "a"), "Def"); got != "Def" {
+		t.Errorf("EOF name = %q", got)
+	}
+	if !strings.Contains(out.String(), "Non-empty intersection") {
+		t.Error("prompt missing")
+	}
+}
+
+func TestDeny(t *testing.T) {
+	var d Deny
+	if got := d.DecideNEI(NEIContext{}); got.Action != NEIIgnore {
+		t.Error("Deny conceptualized")
+	}
+	if !d.ValidateFD(deps.FD{}, FDSupport{}) {
+		t.Error("Deny rejects supported FDs")
+	}
+	if d.EnforceFD("R", relation.AttrSet{}, "b", FDSupport{}) || d.ConceptualizeHidden(relation.Ref{}) {
+		t.Error("Deny allowed an optional action")
+	}
+	if d.NameRelation(NameNEI, relation.Ref{}, "S") != "S" {
+		t.Error("Deny renamed")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if NEIIgnore.String() != "ignore" || NEINewRelation.String() != "new-relation" ||
+		NEIForceLeft.String() != "force-left-in-right" || NEIForceRight.String() != "force-right-in-left" {
+		t.Error("NEIAction strings")
+	}
+	if NEIAction(99).String() != "?" {
+		t.Error("unknown NEIAction")
+	}
+	if NameHiddenObject.String() != "hidden-object" || NameFDSplit.String() != "fd-split" || NameNEI.String() != "nei" {
+		t.Error("NameKind strings")
+	}
+	if NameKind(99).String() != "?" {
+		t.Error("unknown NameKind")
+	}
+}

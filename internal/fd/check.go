@@ -1,0 +1,210 @@
+// Package fd implements the functional-dependency side of the method: the
+// extension checks behind RHS-Discovery (Section 6.2.2), the RHS-Discovery
+// algorithm itself, and an exhaustive TANE-style discovery baseline (the
+// data-only alternative the paper cites as Mannila & Räihä [12]).
+package fd
+
+import (
+	"fmt"
+	"strings"
+
+	"dbre/internal/expert"
+	"dbre/internal/table"
+)
+
+// Check tests the functional dependency lhs → rhs on a table and reports
+// its support: the number of tuples inspected and the number of violating
+// tuples (tuples outside the majority right-hand-side value of their
+// left-hand-side group). Tuples with a NULL in the left-hand side are
+// skipped, matching how the elicitation treats missing identifiers; a NULL
+// right-hand side counts as a regular value.
+func Check(tab *table.Table, lhs []string, rhs string) (expert.FDSupport, error) {
+	cols := make([]int, len(lhs))
+	for i, a := range lhs {
+		c, ok := tab.ColIndex(a)
+		if !ok {
+			return expert.FDSupport{}, fmt.Errorf("fd: relation %s has no attribute %q", tab.Schema().Name, a)
+		}
+		cols[i] = c
+	}
+	rcol, ok := tab.ColIndex(rhs)
+	if !ok {
+		return expert.FDSupport{}, fmt.Errorf("fd: relation %s has no attribute %q", tab.Schema().Name, rhs)
+	}
+	// groups: lhs key → rhs value counts.
+	groups := make(map[string]map[string]int)
+	rows := 0
+	for i := 0; i < tab.Len(); i++ {
+		row := tab.Row(i)
+		var key strings.Builder
+		hasNull := false
+		for _, c := range cols {
+			if row[c].IsNull() {
+				hasNull = true
+				break
+			}
+			key.WriteString(row[c].Key())
+			key.WriteByte(0x1f)
+		}
+		if hasNull {
+			continue
+		}
+		rows++
+		k := key.String()
+		if groups[k] == nil {
+			groups[k] = make(map[string]int)
+		}
+		groups[k][row[rcol].Key()]++
+	}
+	violations := 0
+	for _, counts := range groups {
+		total, max := 0, 0
+		for _, n := range counts {
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		violations += total - max
+	}
+	return expert.FDSupport{Rows: rows, Violations: violations}, nil
+}
+
+// CheckNaive tests lhs → rhs by comparing every pair of tuples — the
+// textbook O(n²) definition. It exists as the ablation baseline for the
+// hash-grouping Check (benchmark B3) and for differential testing.
+func CheckNaive(tab *table.Table, lhs []string, rhs string) (expert.FDSupport, error) {
+	cols := make([]int, len(lhs))
+	for i, a := range lhs {
+		c, ok := tab.ColIndex(a)
+		if !ok {
+			return expert.FDSupport{}, fmt.Errorf("fd: relation %s has no attribute %q", tab.Schema().Name, a)
+		}
+		cols[i] = c
+	}
+	rcol, ok := tab.ColIndex(rhs)
+	if !ok {
+		return expert.FDSupport{}, fmt.Errorf("fd: relation %s has no attribute %q", tab.Schema().Name, rhs)
+	}
+	sameLHS := func(a, b table.Row) bool {
+		for _, c := range cols {
+			if a[c].IsNull() || b[c].IsNull() || !a[c].Equal(b[c]) {
+				return false
+			}
+		}
+		return true
+	}
+	rows := 0
+	violating := make(map[int]bool)
+	n := tab.Len()
+	for i := 0; i < n; i++ {
+		ri := tab.Row(i)
+		nullLHS := false
+		for _, c := range cols {
+			if ri[c].IsNull() {
+				nullLHS = true
+			}
+		}
+		if nullLHS {
+			continue
+		}
+		rows++
+		for j := i + 1; j < n; j++ {
+			rj := tab.Row(j)
+			if sameLHS(ri, rj) && !ri[rcol].Equal(rj[rcol]) {
+				// Blame the later tuple, approximating Check's
+				// majority-based count.
+				violating[j] = true
+			}
+		}
+	}
+	return expert.FDSupport{Rows: rows, Violations: len(violating)}, nil
+}
+
+// Holds reports whether lhs → rhs is satisfied by the extension.
+func Holds(tab *table.Table, lhs []string, rhs string) (bool, error) {
+	s, err := Check(tab, lhs, rhs)
+	if err != nil {
+		return false, err
+	}
+	return s.Holds(), nil
+}
+
+// Partition is a stripped partition: the row-index groups of size ≥ 2
+// induced by grouping on some attribute set. Singleton groups carry no
+// refutation power and are dropped (TANE's representation).
+type Partition struct {
+	Groups [][]int
+	rows   int
+}
+
+// NewPartition groups the table's rows by the given attributes; NULL is a
+// regular value here (data-mining semantics).
+func NewPartition(tab *table.Table, attrs []string) (*Partition, error) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		c, ok := tab.ColIndex(a)
+		if !ok {
+			return nil, fmt.Errorf("fd: relation %s has no attribute %q", tab.Schema().Name, a)
+		}
+		cols[i] = c
+	}
+	groups := make(map[string][]int)
+	for i := 0; i < tab.Len(); i++ {
+		row := tab.Row(i)
+		var key strings.Builder
+		for _, c := range cols {
+			key.WriteString(row[c].Key())
+			key.WriteByte(0x1f)
+		}
+		k := key.String()
+		groups[k] = append(groups[k], i)
+	}
+	p := &Partition{rows: tab.Len()}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			p.Groups = append(p.Groups, g)
+		}
+	}
+	return p, nil
+}
+
+// Error is TANE's e(X): the minimum number of rows to remove so that X
+// becomes a superkey — Σ(|group| - 1) over stripped groups.
+func (p *Partition) Error() int {
+	e := 0
+	for _, g := range p.Groups {
+		e += len(g) - 1
+	}
+	return e
+}
+
+// Refine intersects the partition with the grouping of a single column:
+// π_{X ∪ {a}} from π_X, the incremental step of the level-wise search.
+func (p *Partition) Refine(tab *table.Table, attr string) (*Partition, error) {
+	col, ok := tab.ColIndex(attr)
+	if !ok {
+		return nil, fmt.Errorf("fd: relation %s has no attribute %q", tab.Schema().Name, attr)
+	}
+	out := &Partition{rows: p.rows}
+	sub := make(map[string][]int)
+	for _, g := range p.Groups {
+		for k := range sub {
+			delete(sub, k)
+		}
+		for _, i := range g {
+			k := tab.Row(i)[col].Key()
+			sub[k] = append(sub[k], i)
+		}
+		for _, s := range sub {
+			if len(s) >= 2 {
+				out.Groups = append(out.Groups, append([]int{}, s...))
+			}
+		}
+	}
+	return out, nil
+}
+
+// RefinesTo reports whether X → a holds given π_X and π_{X∪{a}}: the FD
+// holds iff both partitions have the same error.
+func RefinesTo(px, pxa *Partition) bool { return px.Error() == pxa.Error() }

@@ -1,0 +1,164 @@
+package fd
+
+import (
+	"sort"
+
+	"dbre/internal/relation"
+	"dbre/internal/table"
+)
+
+// KeyInferenceOptions configures candidate-key inference from data.
+type KeyInferenceOptions struct {
+	// MaxSize bounds the size of inferred keys.
+	MaxSize int
+	// RequireNotNull restricts key candidates to columns without NULLs
+	// (a data-supported key with NULLs cannot be declared UNIQUE anyway).
+	RequireNotNull bool
+}
+
+// DefaultKeyInferenceOptions searches keys of up to three attributes over
+// NULL-free columns.
+func DefaultKeyInferenceOptions() KeyInferenceOptions {
+	return KeyInferenceOptions{MaxSize: 3, RequireNotNull: true}
+}
+
+// InferKeys discovers the minimal attribute sets whose values are unique
+// across the extension — candidate keys supported by the data. The paper
+// assumes UNIQUE declarations exist in the dictionary, but motivates the
+// whole enterprise by noting that "old versions of DBMSs do not support
+// such declarations"; this inference closes that gap so the pipeline can
+// run against dictionaries with no declared keys at all.
+//
+// Only data-supported presumptions are returned; like every elicited
+// dependency in the method, they should be validated by the expert user
+// before being promoted to constraints.
+func InferKeys(tab *table.Table, opts KeyInferenceOptions) ([]relation.AttrSet, error) {
+	if opts.MaxSize < 1 {
+		opts.MaxSize = 1
+	}
+	schema := tab.Schema()
+	var attrs []string
+	for _, a := range schema.Attrs {
+		if opts.RequireNotNull && columnHasNull(tab, a.Name) {
+			continue
+		}
+		attrs = append(attrs, a.Name)
+	}
+	sort.Strings(attrs)
+
+	var keys []relation.AttrSet
+	coveredBy := func(x relation.AttrSet) bool {
+		for _, k := range keys {
+			if x.ContainsAll(k) {
+				return true
+			}
+		}
+		return false
+	}
+	n := tab.Len()
+	for size := 1; size <= opts.MaxSize && size <= len(attrs); size++ {
+		var level [][]string
+		if err := combos(len(attrs), size, func(pick []int) error {
+			names := make([]string, size)
+			for i, p := range pick {
+				names[i] = attrs[p]
+			}
+			level = append(level, names)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for _, names := range level {
+			x := relation.NewAttrSet(names...)
+			if coveredBy(x) {
+				continue // superset of a found key: not minimal
+			}
+			// Unique iff the distinct count over NULL-free rows equals
+			// the number of NULL-free rows.
+			distinct, err := tab.DistinctCount(names)
+			if err != nil {
+				return nil, err
+			}
+			rows := n
+			if !opts.RequireNotNull {
+				rows = countNonNullRows(tab, names)
+			}
+			if distinct == rows && rows > 0 {
+				keys = append(keys, x)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	return keys, nil
+}
+
+func columnHasNull(tab *table.Table, name string) bool {
+	col, ok := tab.ColIndex(name)
+	if !ok {
+		return true
+	}
+	for i := 0; i < tab.Len(); i++ {
+		if tab.Row(i)[col].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func countNonNullRows(tab *table.Table, names []string) int {
+	cols := make([]int, len(names))
+	for i, a := range names {
+		c, ok := tab.ColIndex(a)
+		if !ok {
+			return 0
+		}
+		cols[i] = c
+	}
+	n := 0
+	for i := 0; i < tab.Len(); i++ {
+		row := tab.Row(i)
+		ok := true
+		for _, c := range cols {
+			if row[c].IsNull() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// InferMissingKeys runs key inference over every relation of the database
+// that has no declared UNIQUE constraint, declares the smallest inferred
+// key (ties broken lexicographically) as the relation's primary key, and
+// returns what was declared. Relations with no data-supported key (or no
+// data) are left untouched.
+func InferMissingKeys(db *table.Database, opts KeyInferenceOptions) ([]relation.Ref, error) {
+	var declared []relation.Ref
+	for _, name := range db.Catalog().Names() {
+		schema, _ := db.Catalog().Get(name)
+		if len(schema.Uniques) > 0 {
+			continue
+		}
+		tab := db.MustTable(name)
+		if tab.Len() == 0 {
+			continue
+		}
+		keys, err := InferKeys(tab, opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		best := keys[0] // Compare order: smallest first, then lexicographic
+		if err := schema.AddUnique(best); err != nil {
+			return nil, err
+		}
+		declared = append(declared, relation.Ref{Rel: name, Attrs: best})
+	}
+	return declared, nil
+}

@@ -1,0 +1,148 @@
+package fd
+
+import (
+	"fmt"
+
+	"dbre/internal/deps"
+	"dbre/internal/expert"
+	"dbre/internal/relation"
+	"dbre/internal/table"
+)
+
+// CandidateTrace records how one element of LHS ∪ H was processed by
+// RHS-Discovery.
+type CandidateTrace struct {
+	Candidate relation.Ref
+	// Pruned is the candidate RHS set after the key/not-null reduction.
+	Pruned relation.AttrSet
+	// Accepted lists the attributes that entered B (held or enforced).
+	Accepted relation.AttrSet
+	// Enforced lists attributes the expert forced despite violations.
+	Enforced relation.AttrSet
+	// Outcome is one of "fd", "hidden-object", "given-up",
+	// "stays-hidden", "fd-rejected".
+	Outcome string
+}
+
+// String renders the trace line.
+func (c CandidateTrace) String() string {
+	return fmt.Sprintf("%s: T=%s B=%s -> %s", c.Candidate, c.Pruned, c.Accepted, c.Outcome)
+}
+
+// Result is the output of RHS-Discovery.
+type Result struct {
+	FDs []deps.FD
+	// Hidden is the final set H of hidden objects.
+	Hidden []relation.Ref
+	Traces []CandidateTrace
+	// ExtensionChecks counts A → b tests against the extension, the work
+	// measure compared with the exhaustive baseline.
+	ExtensionChecks int
+}
+
+// DiscoverRHS runs the paper's RHS-Discovery algorithm. Inputs are the
+// database (for the extension and the catalog's keys and NOT NULLs), the
+// candidate left-hand sides LHS and the hidden-object seeds H produced by
+// LHS-Discovery, and the expert. Candidates are processed in canonical
+// order so runs are deterministic.
+func DiscoverRHS(db *table.Database, lhs, hidden []relation.Ref, oracle expert.Oracle) (*Result, error) {
+	if oracle == nil {
+		oracle = expert.NewAuto()
+	}
+	res := &Result{}
+
+	inHidden := make(map[string]bool, len(hidden))
+	for _, h := range hidden {
+		inHidden[h.Key()] = true
+	}
+	// LHS ∪ H, deduplicated, in canonical order.
+	seen := make(map[string]bool)
+	var candidates []relation.Ref
+	for _, r := range append(append([]relation.Ref{}, lhs...), hidden...) {
+		if !seen[r.Key()] {
+			seen[r.Key()] = true
+			candidates = append(candidates, r)
+		}
+	}
+	relation.SortRefs(candidates)
+
+	// N restricted per relation is recomputed from the catalog.
+	for _, cand := range candidates {
+		schema, ok := db.Catalog().Get(cand.Rel)
+		if !ok {
+			return nil, fmt.Errorf("fd: unknown relation %q", cand.Rel)
+		}
+		tab := db.MustTable(cand.Rel)
+		key, _ := schema.PrimaryKey()
+		notNull := schema.NotNullSet()
+
+		// T = X_i - A - K_i; if A ∉ N, also remove N ∩ X_i.
+		t := schema.AttrSet().Minus(cand.Attrs).Minus(key)
+		if !notNull.ContainsAll(cand.Attrs) {
+			t = t.Minus(notNull)
+		}
+
+		trace := CandidateTrace{Candidate: cand, Pruned: t}
+		var accepted relation.AttrSet
+		for _, b := range t.Names() {
+			support, err := Check(tab, cand.Attrs.Names(), b)
+			if err != nil {
+				return nil, err
+			}
+			res.ExtensionChecks++
+			switch {
+			case support.Holds():
+				accepted = accepted.Add(b) // branch (i)
+			case oracle.EnforceFD(cand.Rel, cand.Attrs, b, support):
+				accepted = accepted.Add(b) // branch (ii)
+				trace.Enforced = trace.Enforced.Add(b)
+			}
+		}
+		trace.Accepted = accepted
+
+		hiddenKey := cand.Key()
+		if !accepted.IsEmpty() {
+			fd := deps.NewFD(cand.Rel, cand.Attrs, accepted)
+			support := expert.FDSupport{Rows: tab.Len()}
+			if oracle.ValidateFD(fd, support) { // expert validation
+				res.FDs = append(res.FDs, fd)
+				if inHidden[hiddenKey] {
+					inHidden[hiddenKey] = false // now conceptualized in F
+				}
+				trace.Outcome = "fd"
+			} else {
+				trace.Outcome = "fd-rejected"
+			}
+			res.Traces = append(res.Traces, trace)
+			continue
+		}
+		// Empty right-hand side.
+		switch {
+		case inHidden[hiddenKey]:
+			trace.Outcome = "stays-hidden" // already a hidden object
+		case oracle.ConceptualizeHidden(cand):
+			inHidden[hiddenKey] = true // branch (iv)
+			trace.Outcome = "hidden-object"
+		default:
+			trace.Outcome = "given-up" // branch (v)
+		}
+		res.Traces = append(res.Traces, trace)
+	}
+
+	// Materialize the final H in canonical order.
+	for _, cand := range candidates {
+		if inHidden[cand.Key()] {
+			res.Hidden = append(res.Hidden, cand)
+		}
+	}
+	// Hidden seeds never visited as candidates (defensive; LHS-Discovery
+	// always lists them) survive too.
+	for _, h := range hidden {
+		if inHidden[h.Key()] && !seen[h.Key()] {
+			res.Hidden = append(res.Hidden, h)
+		}
+	}
+	relation.SortRefs(res.Hidden)
+	deps.SortFDs(res.FDs)
+	return res, nil
+}

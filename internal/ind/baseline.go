@@ -1,0 +1,170 @@
+package ind
+
+import (
+	"sort"
+
+	"dbre/internal/deps"
+	"dbre/internal/relation"
+	"dbre/internal/table"
+	"dbre/internal/value"
+)
+
+// BaselineOptions configures the exhaustive data-driven discovery.
+type BaselineOptions struct {
+	// MaxArity bounds the generated IND arity; 1 tests only single
+	// attributes, 2 additionally composes binary candidates from valid
+	// unary ones (the MIND-style level-wise step).
+	MaxArity int
+	// TypePruning skips attribute pairs of different kinds, as any
+	// practical discovery algorithm would.
+	TypePruning bool
+	// KeysOnlyRHS restricts right-hand sides to declared keys (a common
+	// heuristic restriction when hunting foreign keys only).
+	KeysOnlyRHS bool
+}
+
+// DefaultBaselineOptions matches the usual unary-discovery setup.
+func DefaultBaselineOptions() BaselineOptions {
+	return BaselineOptions{MaxArity: 1, TypePruning: true}
+}
+
+// BaselineResult is the output of the exhaustive discovery.
+type BaselineResult struct {
+	INDs *deps.INDSet
+	// CandidatesTested counts the containment tests actually performed
+	// (after pruning); this is the work measure compared against
+	// IND-Discovery's ExtensionQueries in the benchmarks.
+	CandidatesTested int
+	// CandidatesPruned counts pairs skipped by type/size pruning.
+	CandidatesPruned int
+}
+
+// attrInfo caches per-attribute discovery state.
+type attrInfo struct {
+	rel   string
+	attr  string
+	kind  value.Kind
+	set   map[string]struct{}
+	isKey bool
+}
+
+// DiscoverBaseline performs exhaustive IND discovery against the extension
+// alone — no application programs, no expert: every type-compatible ordered
+// attribute pair is a candidate. This is the method the paper's
+// query-guided elicitation is implicitly compared against.
+func DiscoverBaseline(db *table.Database, opts BaselineOptions) (*BaselineResult, error) {
+	if opts.MaxArity < 1 {
+		opts.MaxArity = 1
+	}
+	res := &BaselineResult{INDs: deps.NewINDSet()}
+
+	var infos []*attrInfo
+	for _, relName := range db.Catalog().Names() {
+		tab := db.MustTable(relName)
+		schema := tab.Schema()
+		for _, a := range schema.Attrs {
+			set, err := tab.DistinctSet([]string{a.Name})
+			if err != nil {
+				return nil, err
+			}
+			infos = append(infos, &attrInfo{
+				rel:   relName,
+				attr:  a.Name,
+				kind:  a.Type,
+				set:   set,
+				isKey: schema.IsKey(relation.NewAttrSet(a.Name)),
+			})
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].rel != infos[j].rel {
+			return infos[i].rel < infos[j].rel
+		}
+		return infos[i].attr < infos[j].attr
+	})
+
+	// Unary pass.
+	type unary struct{ li, ri int }
+	var valid []unary
+	for li, l := range infos {
+		for ri, r := range infos {
+			if li == ri {
+				continue
+			}
+			if opts.TypePruning && l.kind != r.kind {
+				res.CandidatesPruned++
+				continue
+			}
+			if opts.KeysOnlyRHS && !r.isKey {
+				res.CandidatesPruned++
+				continue
+			}
+			if len(l.set) == 0 || len(l.set) > len(r.set) {
+				res.CandidatesPruned++
+				continue
+			}
+			res.CandidatesTested++
+			if subset(l.set, r.set) {
+				res.INDs.Add(deps.NewIND(
+					deps.NewSide(l.rel, l.attr),
+					deps.NewSide(r.rel, r.attr),
+				))
+				valid = append(valid, unary{li, ri})
+			}
+		}
+	}
+
+	// Level 2: compose binary candidates from unary ones sharing the same
+	// relation pair, then test against the data (projection containment
+	// is not implied by attribute-wise containment).
+	if opts.MaxArity >= 2 {
+		for i := 0; i < len(valid); i++ {
+			for j := i + 1; j < len(valid); j++ {
+				a, b := valid[i], valid[j]
+				la, lb := infos[a.li], infos[b.li]
+				ra, rb := infos[a.ri], infos[b.ri]
+				if la.rel != lb.rel || ra.rel != rb.rel {
+					continue
+				}
+				if la.attr == lb.attr || ra.attr == rb.attr {
+					continue
+				}
+				res.CandidatesTested++
+				tl := db.MustTable(la.rel)
+				tr := db.MustTable(ra.rel)
+				holds, err := table.ContainedIn(tl, []string{la.attr, lb.attr}, tr, []string{ra.attr, rb.attr})
+				if err != nil {
+					return nil, err
+				}
+				if holds {
+					res.INDs.Add(deps.NewIND(
+						deps.NewSide(la.rel, la.attr, lb.attr),
+						deps.NewSide(ra.rel, ra.attr, rb.attr),
+					))
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func subset(a, b map[string]struct{}) bool {
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CandidateSpace reports the raw number of ordered unary attribute pairs a
+// fully exhaustive search faces, before any pruning — the denominator of
+// the efficiency comparison.
+func CandidateSpace(db *table.Database) int {
+	n := 0
+	for _, name := range db.Catalog().Names() {
+		s, _ := db.Catalog().Get(name)
+		n += len(s.Attrs)
+	}
+	return n * (n - 1)
+}

@@ -1,0 +1,222 @@
+// Package ind implements the paper's IND-Discovery algorithm (Section 6.1):
+// inclusion dependencies are elicited by checking each equi-join of Q
+// against the database extension, with the expert user arbitrating
+// non-empty intersections. The package also implements an exhaustive,
+// data-only discovery baseline (in baseline.go) used to quantify the
+// paper's central efficiency claim: query guidance examines only the
+// attribute pairs programmers actually navigate.
+package ind
+
+import (
+	"fmt"
+
+	"dbre/internal/deps"
+	"dbre/internal/expert"
+	"dbre/internal/relation"
+	"dbre/internal/table"
+	"dbre/internal/value"
+)
+
+// Case classifies what IND-Discovery did with one equi-join.
+type Case int
+
+// Outcome cases, mirroring the algorithm's branches.
+const (
+	// CaseEmpty: the two value sets do not intersect (branch (i)); a data
+	// integrity problem may exist and nothing is elicited.
+	CaseEmpty Case = iota
+	// CaseInclusion: the intersection equals one (or both) of the value
+	// sets; inclusion dependencies are elicited (branches (ii)/(iii)).
+	CaseInclusion
+	// CaseNEINewRelation: the expert conceptualized the intersection as a
+	// new relation in S (branch (iv)).
+	CaseNEINewRelation
+	// CaseNEIForced: the expert enforced one direction against the
+	// extension (branches (v)/(vi)).
+	CaseNEIForced
+	// CaseNEIIgnored: the expert dropped the non-empty intersection
+	// (branch (vii)).
+	CaseNEIIgnored
+	// CaseError: the join refers to unknown relations or attributes.
+	CaseError
+)
+
+// String names the case.
+func (c Case) String() string {
+	switch c {
+	case CaseEmpty:
+		return "empty-intersection"
+	case CaseInclusion:
+		return "inclusion"
+	case CaseNEINewRelation:
+		return "nei-new-relation"
+	case CaseNEIForced:
+		return "nei-forced"
+	case CaseNEIIgnored:
+		return "nei-ignored"
+	case CaseError:
+		return "error"
+	default:
+		return "?"
+	}
+}
+
+// Outcome records how one equi-join was processed.
+type Outcome struct {
+	Join        deps.EquiJoin
+	NK, NL, NKL int
+	Case        Case
+	Added       []deps.IND
+	NewRelation string // set for CaseNEINewRelation
+	Err         error  // set for CaseError
+}
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	s := fmt.Sprintf("%s: Nk=%d Nl=%d Nkl=%d -> %s", o.Join, o.NK, o.NL, o.NKL, o.Case)
+	if o.NewRelation != "" {
+		s += " " + o.NewRelation
+	}
+	return s
+}
+
+// Result is the output of IND-Discovery: the elicited set IND, the new
+// relations S, and a full trace.
+type Result struct {
+	INDs *deps.INDSet
+	// NewRelations lists the names of the relations added to S, in
+	// creation order; their schemas live in the database catalog.
+	NewRelations []string
+	Outcomes     []Outcome
+	// ExtensionQueries counts the count-distinct/join queries issued
+	// against the extension (three per equi-join), the cost measure the
+	// efficiency claim is about.
+	ExtensionQueries int
+}
+
+// Discover runs IND-Discovery over the equi-joins of q against db,
+// consulting oracle for every non-empty intersection. New relations
+// conceptualized from NEIs are added to db (schema and extension). The
+// traversal order is the canonical order of q, so runs are deterministic.
+func Discover(db *table.Database, q *deps.JoinSet, oracle expert.Oracle) (*Result, error) {
+	if oracle == nil {
+		oracle = expert.NewAuto()
+	}
+	res := &Result{INDs: deps.NewINDSet()}
+	for _, join := range q.Sorted() {
+		out := processJoin(db, join, oracle, res)
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	return res, nil
+}
+
+func processJoin(db *table.Database, join deps.EquiJoin, oracle expert.Oracle, res *Result) Outcome {
+	c := countJoin(db, join)
+	if c.err != nil {
+		return Outcome{Join: join, Case: CaseError, Err: c.err}
+	}
+	res.ExtensionQueries += 3
+	return decideJoin(db, join, c.nk, c.nl, c.nkl, oracle, res)
+}
+
+// conceptualizeNEI creates the relation R_p(A_p) for a non-empty
+// intersection, keyed on all its attributes, and fills its extension with
+// the shared value combinations. Attribute names and types are taken from
+// the join's left side.
+func conceptualizeNEI(db *table.Database, join deps.EquiJoin, name string, oracle expert.Oracle) (string, []string, error) {
+	tk := db.MustTable(join.Left.Rel)
+	tl := db.MustTable(join.Right.Rel)
+	base := relation.Ref{Rel: join.Left.Rel, Attrs: relation.NewAttrSet(join.Left.Attrs...)}
+	if name == "" {
+		suggested := uniqueName(db.Catalog(), join.Left.Rel+"-"+join.Right.Rel)
+		name = oracle.NameRelation(expert.NameNEI, base, suggested)
+	}
+	if db.Catalog().Has(name) {
+		name = uniqueName(db.Catalog(), name)
+	}
+	attrs := make([]relation.Attribute, len(join.Left.Attrs))
+	for i, a := range join.Left.Attrs {
+		src, ok := tk.Schema().Attr(a)
+		if !ok {
+			return "", nil, fmt.Errorf("ind: relation %s has no attribute %q", join.Left.Rel, a)
+		}
+		attrs[i] = relation.Attribute{Name: src.Name, Type: src.Type}
+	}
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		names[i] = a.Name
+	}
+	schema, err := relation.NewSchema(name, attrs, relation.NewAttrSet(names...))
+	if err != nil {
+		return "", nil, err
+	}
+	if err := db.AddRelation(schema); err != nil {
+		return "", nil, err
+	}
+	// Extension: the distinct intersection of the two projections.
+	newTab := db.MustTable(name)
+	leftRows, err := tk.DistinctRows(join.Left.Attrs)
+	if err != nil {
+		return "", nil, err
+	}
+	rightSet, err := tl.DistinctSet(join.Right.Attrs)
+	if err != nil {
+		return "", nil, err
+	}
+	for _, row := range leftRows {
+		if _, shared := rightSet[rowSetKey(row)]; shared {
+			if err := newTab.Insert(table.Row(row)); err != nil {
+				return "", nil, err
+			}
+		}
+	}
+	return name, names, nil
+}
+
+// rowSetKey mirrors the composite key construction used by DistinctSet.
+func rowSetKey(row []value.Value) string {
+	out := make([]byte, 0, 16*len(row))
+	for _, v := range row {
+		out = append(out, v.Key()...)
+		out = append(out, 0x1f)
+	}
+	return string(out)
+}
+
+// uniqueName derives a relation name not yet present in the catalog.
+func uniqueName(cat *relation.Catalog, base string) string {
+	if !cat.Has(base) {
+		return base
+	}
+	for i := 2; ; i++ {
+		name := fmt.Sprintf("%s-%d", base, i)
+		if !cat.Has(name) {
+			return name
+		}
+	}
+}
+
+// Verify checks every IND of the set against the extension and returns the
+// ones that do not hold (possible after forced decisions, which the paper
+// warns desynchronize the data structure from the extension).
+func Verify(db *table.Database, set *deps.INDSet) ([]deps.IND, error) {
+	var violated []deps.IND
+	for _, d := range set.Sorted() {
+		tl, ok := db.Table(d.Left.Rel)
+		if !ok {
+			return nil, fmt.Errorf("ind: unknown relation %q", d.Left.Rel)
+		}
+		tr, ok := db.Table(d.Right.Rel)
+		if !ok {
+			return nil, fmt.Errorf("ind: unknown relation %q", d.Right.Rel)
+		}
+		holds, err := table.ContainedIn(tl, d.Left.Attrs, tr, d.Right.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		if !holds {
+			violated = append(violated, d)
+		}
+	}
+	return violated, nil
+}

@@ -1,0 +1,134 @@
+package ind
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dbre/internal/deps"
+	"dbre/internal/expert"
+	"dbre/internal/table"
+)
+
+// DiscoverParallel is Discover with the counting phase fanned out over a
+// worker pool. The three extension queries per equi-join are independent
+// pure reads, so they parallelize perfectly; the decision phase —
+// branching, expert consultation, NEI conceptualization (which mutates the
+// database) — runs sequentially afterwards in canonical join order, so the
+// result and the expert dialogue are identical to the serial algorithm.
+// workers ≤ 0 selects GOMAXPROCS.
+func DiscoverParallel(db *table.Database, q *deps.JoinSet, oracle expert.Oracle, workers int) (*Result, error) {
+	if oracle == nil {
+		oracle = expert.NewAuto()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	joins := q.Sorted()
+	results := make([]joinCounts, len(joins))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = countJoin(db, joins[i])
+			}
+		}()
+	}
+	for i := range joins {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	res := &Result{INDs: deps.NewINDSet()}
+	for i, join := range joins {
+		c := results[i]
+		if c.err != nil {
+			res.Outcomes = append(res.Outcomes, Outcome{Join: join, Case: CaseError, Err: c.err})
+			continue
+		}
+		res.ExtensionQueries += 3
+		out := decideJoin(db, join, c.nk, c.nl, c.nkl, oracle, res)
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	return res, nil
+}
+
+// joinCounts carries the three counts of one equi-join.
+type joinCounts struct {
+	nk, nl, nkl int
+	err         error
+}
+
+// countJoin computes the three counts of one equi-join.
+func countJoin(db *table.Database, join deps.EquiJoin) (c joinCounts) {
+	tk, ok := db.Table(join.Left.Rel)
+	if !ok {
+		c.err = fmt.Errorf("ind: unknown relation %q", join.Left.Rel)
+		return c
+	}
+	tl, ok := db.Table(join.Right.Rel)
+	if !ok {
+		c.err = fmt.Errorf("ind: unknown relation %q", join.Right.Rel)
+		return c
+	}
+	if c.nk, c.err = tk.DistinctCount(join.Left.Attrs); c.err != nil {
+		return c
+	}
+	if c.nl, c.err = tl.DistinctCount(join.Right.Attrs); c.err != nil {
+		return c
+	}
+	c.nkl, c.err = table.JoinDistinctCount(tk, join.Left.Attrs, tl, join.Right.Attrs)
+	return c
+}
+
+// decideJoin applies the algorithm's branches given precomputed counts; it
+// mirrors the tail of processJoin.
+func decideJoin(db *table.Database, join deps.EquiJoin, nk, nl, nkl int, oracle expert.Oracle, res *Result) Outcome {
+	out := Outcome{Join: join, NK: nk, NL: nl, NKL: nkl}
+	add := func(d deps.IND) {
+		if res.INDs.Add(d) {
+			out.Added = append(out.Added, d)
+		}
+	}
+	left := deps.Side{Rel: join.Left.Rel, Attrs: join.Left.Attrs}
+	right := deps.Side{Rel: join.Right.Rel, Attrs: join.Right.Attrs}
+	switch {
+	case nkl == 0:
+		out.Case = CaseEmpty
+	case nkl == nk || nkl == nl:
+		out.Case = CaseInclusion
+		if nkl == nk {
+			add(deps.NewIND(left, right))
+		}
+		if nkl == nl {
+			add(deps.NewIND(right, left))
+		}
+	default:
+		decision := oracle.DecideNEI(expert.NEIContext{Join: join, NK: nk, NL: nl, NKL: nkl})
+		switch decision.Action {
+		case expert.NEINewRelation:
+			name, newRel, err := conceptualizeNEI(db, join, decision.Name, oracle)
+			if err != nil {
+				out.Case, out.Err = CaseError, err
+				return out
+			}
+			out.Case, out.NewRelation = CaseNEINewRelation, name
+			res.NewRelations = append(res.NewRelations, name)
+			add(deps.NewIND(deps.Side{Rel: name, Attrs: newRel}, left))
+			add(deps.NewIND(deps.Side{Rel: name, Attrs: newRel}, right))
+		case expert.NEIForceLeft:
+			out.Case = CaseNEIForced
+			add(deps.NewIND(left, right))
+		case expert.NEIForceRight:
+			out.Case = CaseNEIForced
+			add(deps.NewIND(right, left))
+		default:
+			out.Case = CaseNEIIgnored
+		}
+	}
+	return out
+}

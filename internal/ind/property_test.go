@@ -1,0 +1,135 @@
+package ind
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dbre/internal/expert"
+	"dbre/internal/table"
+)
+
+// randSets generates two random small integer multisets.
+type randSets struct {
+	A, B []int64
+}
+
+// Generate implements quick.Generator.
+func (randSets) Generate(r *rand.Rand, _ int) reflect.Value {
+	gen := func() []int64 {
+		n := r.Intn(30)
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = int64(r.Intn(12))
+		}
+		return out
+	}
+	return reflect.ValueOf(randSets{gen(), gen()})
+}
+
+func setOf(vs []int64) map[int64]bool {
+	m := map[int64]bool{}
+	for _, v := range vs {
+		m[v] = true
+	}
+	return m
+}
+
+// TestQuickBranchMatchesSetTheory: for any pair of value sets, the
+// algorithm's branch matches the set relationship — empty intersection,
+// inclusion (either or both directions), or proper NEI.
+func TestQuickBranchMatchesSetTheory(t *testing.T) {
+	f := func(rs randSets) bool {
+		db := buildPair(rs.A, rs.B)
+		res, err := Discover(db, q1(), expert.Deny{})
+		if err != nil || len(res.Outcomes) != 1 {
+			return false
+		}
+		out := res.Outcomes[0]
+		sa, sb := setOf(rs.A), setOf(rs.B)
+		inter := 0
+		for v := range sa {
+			if sb[v] {
+				inter++
+			}
+		}
+		aInB := inter == len(sa) && len(sa) > 0
+		bInA := inter == len(sb) && len(sb) > 0
+		switch {
+		case inter == 0:
+			return out.Case == CaseEmpty && res.INDs.Len() == 0
+		case aInB || bInA:
+			if out.Case != CaseInclusion {
+				return false
+			}
+			want := 0
+			if aInB {
+				want++
+			}
+			if bInA {
+				want++
+			}
+			if aInB && bInA && len(sa) == len(sb) && inter == len(sa) {
+				// Equal sets: both directions, distinct INDs.
+				want = 2
+			}
+			return res.INDs.Len() == want
+		default:
+			return out.Case == CaseNEIIgnored && res.INDs.Len() == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParallelEqualsSerial: on random data, parallel and serial
+// discovery are indistinguishable.
+func TestQuickParallelEqualsSerial(t *testing.T) {
+	f := func(rs randSets) bool {
+		s, err := Discover(buildPair(rs.A, rs.B), q1(), expert.Deny{})
+		if err != nil {
+			return false
+		}
+		p, err := DiscoverParallel(buildPair(rs.A, rs.B), q1(), expert.Deny{}, 3)
+		if err != nil {
+			return false
+		}
+		return s.INDs.String() == p.INDs.String() &&
+			len(s.Outcomes) == len(p.Outcomes) &&
+			s.Outcomes[0].String() == p.Outcomes[0].String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVerifyAgreesWithDiscovery: everything Discover elicits without
+// expert forcing verifies against the extension.
+func TestQuickVerifyAgreesWithDiscovery(t *testing.T) {
+	f := func(rs randSets) bool {
+		db := buildPair(rs.A, rs.B)
+		res, err := Discover(db, q1(), expert.Deny{})
+		if err != nil {
+			return false
+		}
+		bad, err := Verify(db, res.INDs)
+		return err == nil && len(bad) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildPair is smallDB without the testing.T plumbing.
+func buildPair(a, b []int64) *table.Database {
+	db := table.NewDatabase(pairCatalog())
+	for _, v := range a {
+		db.MustTable("L").MustInsert(table.Row{intVal(v)})
+	}
+	for _, v := range b {
+		db.MustTable("R").MustInsert(table.Row{intVal(v)})
+	}
+	return db
+}

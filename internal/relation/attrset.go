@@ -1,0 +1,167 @@
+package relation
+
+import (
+	"sort"
+	"strings"
+)
+
+// AttrSet is an immutable, duplicate-free, sorted set of attribute names.
+// The zero value is the empty set. Functions never mutate their receiver.
+//
+// Attribute names are compared case-sensitively: the paper makes no
+// assumption on attribute naming, and legacy dictionaries are typically
+// case-preserving.
+type AttrSet struct {
+	names []string // sorted, unique
+}
+
+// NewAttrSet builds a set from the given names, deduplicating and sorting.
+func NewAttrSet(names ...string) AttrSet {
+	if len(names) == 0 {
+		return AttrSet{}
+	}
+	cp := make([]string, len(names))
+	copy(cp, names)
+	sort.Strings(cp)
+	out := cp[:1]
+	for _, n := range cp[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return AttrSet{names: out}
+}
+
+// Len reports the number of attributes in the set.
+func (s AttrSet) Len() int { return len(s.names) }
+
+// IsEmpty reports whether the set is empty.
+func (s AttrSet) IsEmpty() bool { return len(s.names) == 0 }
+
+// Names returns the sorted attribute names. The caller must not modify the
+// returned slice.
+func (s AttrSet) Names() []string { return s.names }
+
+// Contains reports whether a is a member of s.
+func (s AttrSet) Contains(a string) bool {
+	i := sort.SearchStrings(s.names, a)
+	return i < len(s.names) && s.names[i] == a
+}
+
+// ContainsAll reports whether every member of t is a member of s.
+func (s AttrSet) ContainsAll(t AttrSet) bool {
+	i := 0
+	for _, a := range t.names {
+		for i < len(s.names) && s.names[i] < a {
+			i++
+		}
+		if i == len(s.names) || s.names[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s AttrSet) Equal(t AttrSet) bool {
+	if len(s.names) != len(t.names) {
+		return false
+	}
+	for i, a := range s.names {
+		if t.names[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ t.
+func (s AttrSet) Union(t AttrSet) AttrSet {
+	if t.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return t
+	}
+	return NewAttrSet(append(append([]string{}, s.names...), t.names...)...)
+}
+
+// Add returns s ∪ {names...}.
+func (s AttrSet) Add(names ...string) AttrSet {
+	return s.Union(NewAttrSet(names...))
+}
+
+// Minus returns s \ t.
+func (s AttrSet) Minus(t AttrSet) AttrSet {
+	if s.IsEmpty() || t.IsEmpty() {
+		return s
+	}
+	var out []string
+	for _, a := range s.names {
+		if !t.Contains(a) {
+			out = append(out, a)
+		}
+	}
+	return AttrSet{names: out}
+}
+
+// Intersect returns s ∩ t.
+func (s AttrSet) Intersect(t AttrSet) AttrSet {
+	var out []string
+	for _, a := range s.names {
+		if t.Contains(a) {
+			out = append(out, a)
+		}
+	}
+	return AttrSet{names: out}
+}
+
+// Compare imposes a total order on sets (shorter first, then
+// lexicographic), used for deterministic output ordering.
+func (s AttrSet) Compare(t AttrSet) int {
+	if len(s.names) != len(t.names) {
+		if len(s.names) < len(t.names) {
+			return -1
+		}
+		return 1
+	}
+	for i, a := range s.names {
+		if c := strings.Compare(a, t.names[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// String renders the set as "{a, b, c}"; singletons render bare per the
+// paper's notational convention.
+func (s AttrSet) String() string {
+	if len(s.names) == 1 {
+		return s.names[0]
+	}
+	return "{" + strings.Join(s.names, ", ") + "}"
+}
+
+// Key returns a canonical map key for the set.
+func (s AttrSet) Key() string { return strings.Join(s.names, "\x00") }
+
+// Subsets calls fn for every non-empty proper subset of s, in an arbitrary
+// but deterministic order. It is intended for the small sets that occur as
+// candidate keys.
+func (s AttrSet) Subsets(fn func(AttrSet) bool) {
+	n := len(s.names)
+	if n == 0 || n > 20 {
+		return
+	}
+	for mask := 1; mask < (1<<uint(n))-1; mask++ {
+		var sub []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sub = append(sub, s.names[i])
+			}
+		}
+		if !fn(AttrSet{names: sub}) {
+			return
+		}
+	}
+}

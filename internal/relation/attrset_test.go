@@ -1,0 +1,164 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAttrSetDedupSort(t *testing.T) {
+	s := NewAttrSet("b", "a", "b", "c", "a")
+	if got := s.Names(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Names() = %v", got)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len() = %d", s.Len())
+	}
+	if NewAttrSet().Len() != 0 || !NewAttrSet().IsEmpty() {
+		t.Error("empty set not empty")
+	}
+}
+
+func TestAttrSetContains(t *testing.T) {
+	s := NewAttrSet("emp", "dep", "proj")
+	for _, a := range []string{"emp", "dep", "proj"} {
+		if !s.Contains(a) {
+			t.Errorf("Contains(%q) = false", a)
+		}
+	}
+	for _, a := range []string{"", "e", "empx", "zz"} {
+		if s.Contains(a) {
+			t.Errorf("Contains(%q) = true", a)
+		}
+	}
+	if !s.ContainsAll(NewAttrSet("emp", "proj")) {
+		t.Error("ContainsAll subset failed")
+	}
+	if s.ContainsAll(NewAttrSet("emp", "salary")) {
+		t.Error("ContainsAll non-subset succeeded")
+	}
+	if !s.ContainsAll(NewAttrSet()) {
+		t.Error("empty set is subset of everything")
+	}
+}
+
+func TestAttrSetAlgebra(t *testing.T) {
+	a := NewAttrSet("x", "y", "z")
+	b := NewAttrSet("y", "w")
+	if got := a.Union(b); !got.Equal(NewAttrSet("w", "x", "y", "z")) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewAttrSet("x", "z")) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewAttrSet("y")) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Add("q", "x"); !got.Equal(NewAttrSet("q", "x", "y", "z")) {
+		t.Errorf("Add = %v", got)
+	}
+	// Receivers untouched.
+	if !a.Equal(NewAttrSet("x", "y", "z")) || !b.Equal(NewAttrSet("w", "y")) {
+		t.Error("operations mutated their receivers")
+	}
+}
+
+func TestAttrSetString(t *testing.T) {
+	if got := NewAttrSet("no").String(); got != "no" {
+		t.Errorf("singleton String = %q", got)
+	}
+	if got := NewAttrSet("no", "date").String(); got != "{date, no}" {
+		t.Errorf("pair String = %q", got)
+	}
+}
+
+func TestAttrSetCompare(t *testing.T) {
+	cases := []struct {
+		a, b AttrSet
+		want int
+	}{
+		{NewAttrSet("a"), NewAttrSet("a"), 0},
+		{NewAttrSet("a"), NewAttrSet("b"), -1},
+		{NewAttrSet("b"), NewAttrSet("a"), 1},
+		{NewAttrSet("a"), NewAttrSet("a", "b"), -1},
+		{NewAttrSet("z", "a"), NewAttrSet("b"), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSubsets(t *testing.T) {
+	s := NewAttrSet("a", "b", "c")
+	var got []string
+	s.Subsets(func(sub AttrSet) bool {
+		got = append(got, sub.String())
+		return true
+	})
+	if len(got) != 6 { // 2^3 - 2 (skip empty and full)
+		t.Errorf("got %d proper subsets: %v", len(got), got)
+	}
+	// Early stop.
+	n := 0
+	s.Subsets(func(AttrSet) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop visited %d", n)
+	}
+	NewAttrSet().Subsets(func(AttrSet) bool {
+		t.Error("empty set yielded a subset")
+		return false
+	})
+}
+
+type randSetPair struct{ A, B AttrSet }
+
+// Generate implements quick.Generator.
+func (randSetPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	gen := func() AttrSet {
+		n := r.Intn(6)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = string(rune('a' + r.Intn(8)))
+		}
+		return NewAttrSet(names...)
+	}
+	return reflect.ValueOf(randSetPair{gen(), gen()})
+}
+
+func TestQuickSetLaws(t *testing.T) {
+	f := func(p randSetPair) bool {
+		u := p.A.Union(p.B)
+		i := p.A.Intersect(p.B)
+		d := p.A.Minus(p.B)
+		// |A∪B| = |A| + |B| - |A∩B|
+		if u.Len() != p.A.Len()+p.B.Len()-i.Len() {
+			return false
+		}
+		// A = (A\B) ∪ (A∩B)
+		if !d.Union(i).Equal(p.A) {
+			return false
+		}
+		// Subset relations.
+		return u.ContainsAll(p.A) && u.ContainsAll(p.B) &&
+			p.A.ContainsAll(i) && p.B.ContainsAll(i) && p.A.ContainsAll(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareConsistent(t *testing.T) {
+	f := func(p randSetPair) bool {
+		c := p.A.Compare(p.B)
+		if c == 0 != p.A.Equal(p.B) {
+			return false
+		}
+		return c == -p.B.Compare(p.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package relation
+
+import (
+	"strings"
+
+	"dbre/internal/value"
+)
+
+// typeName maps a value kind onto the SQL spelling used when a catalog is
+// rendered back to DDL.
+func typeName(k value.Kind) string {
+	switch k {
+	case value.KindInt:
+		return "INTEGER"
+	case value.KindFloat:
+		return "FLOAT"
+	case value.KindBool:
+		return "BOOLEAN"
+	case value.KindDate:
+		return "DATE"
+	default:
+		return "VARCHAR"
+	}
+}
+
+// quoteIdent quotes identifiers that the lexer would not re-read as a
+// plain identifier (spaces, quotes); hyphenated legacy names pass through.
+func quoteIdent(name string) string {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '_' || c == '-'
+		if !ok {
+			return `"` + name + `"`
+		}
+	}
+	return name
+}
+
+// DDL renders the schema as a CREATE TABLE statement that parses back to
+// an equivalent schema.
+func (s *Schema) DDL() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE " + quoteIdent(s.Name) + " (\n")
+	pk, hasPK := s.PrimaryKey()
+	for i, a := range s.Attrs {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		b.WriteString("    " + quoteIdent(a.Name) + " " + typeName(a.Type))
+		if a.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	if hasPK {
+		names := make([]string, 0, pk.Len())
+		for _, n := range pk.Names() {
+			names = append(names, quoteIdent(n))
+		}
+		b.WriteString(",\n    PRIMARY KEY (" + strings.Join(names, ", ") + ")")
+	}
+	for i, u := range s.Uniques {
+		if hasPK && i == 0 {
+			continue // rendered as PRIMARY KEY
+		}
+		names := make([]string, 0, u.Len())
+		for _, n := range u.Names() {
+			names = append(names, quoteIdent(n))
+		}
+		b.WriteString(",\n    UNIQUE (" + strings.Join(names, ", ") + ")")
+	}
+	b.WriteString("\n);")
+	return b.String()
+}
+
+// DDL renders every schema of the catalog, in insertion order.
+func (c *Catalog) DDL() string {
+	parts := make([]string, 0, c.Len())
+	for _, s := range c.Schemas() {
+		parts = append(parts, s.DDL())
+	}
+	return strings.Join(parts, "\n")
+}

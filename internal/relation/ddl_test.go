@@ -1,0 +1,61 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"dbre/internal/value"
+)
+
+func TestSchemaDDL(t *testing.T) {
+	s := MustSchema("Assignment", []Attribute{
+		{Name: "emp", Type: value.KindInt},
+		{Name: "dep", Type: value.KindInt},
+		{Name: "proj", Type: value.KindInt},
+		{Name: "date", Type: value.KindDate},
+		{Name: "project-name", Type: value.KindString},
+		{Name: "flag", Type: value.KindBool, NotNull: true},
+		{Name: "pay", Type: value.KindFloat},
+	}, NewAttrSet("emp", "dep", "proj"), NewAttrSet("date"))
+	ddl := s.DDL()
+	for _, want := range []string{
+		"CREATE TABLE Assignment",
+		"emp INTEGER",
+		"date DATE",
+		"project-name VARCHAR",
+		"flag BOOLEAN NOT NULL",
+		"pay FLOAT",
+		"PRIMARY KEY (dep, emp, proj)",
+		"UNIQUE (date)",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL misses %q:\n%s", want, ddl)
+		}
+	}
+}
+
+func TestQuoteIdent(t *testing.T) {
+	if quoteIdent("zip-code") != "zip-code" {
+		t.Error("hyphen quoted unnecessarily")
+	}
+	if quoteIdent("has space") != `"has space"` {
+		t.Error("space not quoted")
+	}
+	if quoteIdent("simple_1") != "simple_1" {
+		t.Error("plain ident mangled")
+	}
+}
+
+func TestCatalogDDL(t *testing.T) {
+	c := MustCatalog(
+		MustSchema("A", []Attribute{{Name: "x", Type: value.KindInt}}, NewAttrSet("x")),
+		MustSchema("B", []Attribute{{Name: "y", Type: value.KindInt}}),
+	)
+	ddl := c.DDL()
+	if strings.Count(ddl, "CREATE TABLE") != 2 {
+		t.Errorf("DDL = %s", ddl)
+	}
+	if strings.Index(ddl, "CREATE TABLE A") > strings.Index(ddl, "CREATE TABLE B") {
+		t.Error("order lost")
+	}
+}

@@ -1,0 +1,85 @@
+// Package restruct implements the schema-restructuring half of the method:
+// the LHS-Discovery algorithm (Section 6.2.1), which turns the elicited
+// inclusion dependencies into candidate FD left-hand sides and hidden-object
+// seeds, and the Restruct algorithm (Section 7), which normalizes the 1NF
+// schema into 3NF with key and referential integrity constraints.
+package restruct
+
+import (
+	"fmt"
+
+	"dbre/internal/deps"
+	"dbre/internal/relation"
+)
+
+// LHSResult is the output of LHS-Discovery.
+type LHSResult struct {
+	// LHS holds the candidate left-hand sides of relevant functional
+	// dependencies: non-key attribute sets referenced by equi-joins.
+	LHS []relation.Ref
+	// Hidden holds the hidden-object seeds: non-key right-hand sides of
+	// inclusion dependencies whose left relation was conceptualized from
+	// a NEI (a relation of S).
+	Hidden []relation.Ref
+}
+
+// DiscoverLHS runs the paper's LHS-Discovery algorithm over the elicited
+// inclusion dependencies. catalog must contain both the original relations
+// R and the NEI relations S; inS reports membership in S.
+func DiscoverLHS(catalog *relation.Catalog, inds *deps.INDSet, inS func(string) bool) (*LHSResult, error) {
+	res := &LHSResult{}
+	seenLHS := make(map[string]bool)
+	seenH := make(map[string]bool)
+	addLHS := func(r relation.Ref) {
+		if !seenLHS[r.Key()] {
+			seenLHS[r.Key()] = true
+			res.LHS = append(res.LHS, r)
+		}
+	}
+	addH := func(r relation.Ref) {
+		if !seenH[r.Key()] {
+			seenH[r.Key()] = true
+			res.Hidden = append(res.Hidden, r)
+		}
+	}
+	isKey := func(ref relation.Ref) (bool, error) {
+		s, ok := catalog.Get(ref.Rel)
+		if !ok {
+			return false, fmt.Errorf("restruct: unknown relation %q", ref.Rel)
+		}
+		return s.IsKey(ref.Attrs), nil
+	}
+
+	for _, d := range inds.Sorted() {
+		left := d.Left.Ref()
+		right := d.Right.Ref()
+		if inS != nil && inS(d.Left.Rel) {
+			// By construction a relation of S only occurs on the left.
+			rightKey, err := isKey(right)
+			if err != nil {
+				return nil, err
+			}
+			if !rightKey { // branch (i)
+				addH(right)
+			}
+			continue
+		}
+		leftKey, err := isKey(left)
+		if err != nil {
+			return nil, err
+		}
+		if !leftKey { // branch (ii)
+			addLHS(left)
+		}
+		rightKey, err := isKey(right)
+		if err != nil {
+			return nil, err
+		}
+		if !rightKey { // branch (iii)
+			addLHS(right)
+		}
+	}
+	relation.SortRefs(res.LHS)
+	relation.SortRefs(res.Hidden)
+	return res, nil
+}

@@ -1,0 +1,500 @@
+// Package ast defines the abstract syntax of the SQL subset: the DDL of
+// legacy data dictionaries and the query shapes the paper's equi-join
+// extraction cares about (WHERE-equality joins, JOIN..ON, nested IN/EXISTS
+// subqueries and INTERSECT).
+package ast
+
+import (
+	"strings"
+
+	"dbre/internal/value"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	String() string
+}
+
+// Expr is any scalar or boolean expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name     string
+	TypeName string // raw type spelling, e.g. VARCHAR, NUMBER
+	Kind     value.Kind
+	NotNull  bool
+	Unique   bool // column-level UNIQUE or PRIMARY KEY
+}
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Name    string
+	Columns []ColumnDef
+	// Uniques holds the table-level UNIQUE/PRIMARY KEY attribute lists in
+	// declaration order; the first PRIMARY KEY (or first UNIQUE when no
+	// PRIMARY KEY exists) is treated as the primary key.
+	Uniques [][]string
+}
+
+func (*CreateTable) stmt() {}
+
+// String renders the statement as SQL.
+func (s *CreateTable) String() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE " + s.Name + " (")
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name + " " + c.TypeName)
+		if c.Unique {
+			b.WriteString(" UNIQUE")
+		}
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	for _, u := range s.Uniques {
+		b.WriteString(", UNIQUE (" + strings.Join(u, ", ") + ")")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Insert is an INSERT INTO ... VALUES statement (possibly multi-row).
+type Insert struct {
+	Table   string
+	Columns []string // nil means schema order
+	Rows    [][]Expr
+}
+
+func (*Insert) stmt() {}
+
+// String renders the statement as SQL.
+func (s *Insert) String() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO " + s.Table)
+	if len(s.Columns) > 0 {
+		b.WriteString(" (" + strings.Join(s.Columns, ", ") + ")")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		parts := make([]string, len(row))
+		for j, e := range row {
+			parts[j] = e.String()
+		}
+		b.WriteString("(" + strings.Join(parts, ", ") + ")")
+	}
+	return b.String()
+}
+
+// TableRef is a FROM-clause item: a table name with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Binding returns the name the table is referred to by in the query.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// String renders "name" or "name alias".
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is an explicit [INNER] JOIN table ON cond.
+type JoinClause struct {
+	Table TableRef
+	On    Expr
+}
+
+// SelectItem is one output of a SELECT: *, COUNT(*), COUNT(DISTINCT cols),
+// or a column expression.
+type SelectItem struct {
+	Star          bool
+	CountStar     bool
+	CountDistinct []ColumnRef // non-nil for COUNT(DISTINCT a, b)
+	Expr          Expr        // plain expression output
+	Alias         string
+}
+
+// String renders the item.
+func (it SelectItem) String() string {
+	var s string
+	switch {
+	case it.Star:
+		s = "*"
+	case it.CountStar:
+		s = "COUNT(*)"
+	case it.CountDistinct != nil:
+		parts := make([]string, len(it.CountDistinct))
+		for i, c := range it.CountDistinct {
+			parts[i] = c.String()
+		}
+		s = "COUNT(DISTINCT " + strings.Join(parts, ", ") + ")"
+	default:
+		s = it.Expr.String()
+	}
+	if it.Alias != "" {
+		s += " AS " + it.Alias
+	}
+	return s
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColumnRef
+	Desc bool
+}
+
+// String renders the key.
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Col.String() + " DESC"
+	}
+	return o.Col.String()
+}
+
+// Select is a SELECT statement, optionally INTERSECTed with another.
+type Select struct {
+	Distinct  bool
+	Items     []SelectItem
+	From      []TableRef
+	Joins     []JoinClause
+	Where     Expr
+	OrderBy   []OrderItem
+	Intersect *Select
+}
+
+func (*Select) stmt() {}
+
+// String renders the statement as SQL.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	for _, j := range s.Joins {
+		b.WriteString(" JOIN " + j.Table.String() + " ON " + j.On.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.String()
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if s.Intersect != nil {
+		b.WriteString(" INTERSECT " + s.Intersect.String())
+	}
+	return b.String()
+}
+
+// Update is an UPDATE ... SET ... [WHERE ...] statement. Only the shape is
+// retained; the executor does not apply updates (the method reads a
+// database in operation, it never writes it).
+type Update struct {
+	Table TableRef
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET column = expr pair.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+func (*Update) stmt() {}
+
+// String renders the statement as SQL.
+func (s *Update) String() string {
+	var b strings.Builder
+	b.WriteString("UPDATE " + s.Table.String() + " SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Column + " = " + a.Value.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	return b.String()
+}
+
+// Delete is a DELETE FROM ... [WHERE ...] statement (shape only).
+type Delete struct {
+	Table TableRef
+	Where Expr
+}
+
+func (*Delete) stmt() {}
+
+// String renders the statement as SQL.
+func (s *Delete) String() string {
+	out := "DELETE FROM " + s.Table.String()
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	return out
+}
+
+// ColumnRef is a possibly-qualified column reference.
+type ColumnRef struct {
+	Table string // alias or table name; empty when unqualified
+	Name  string
+}
+
+func (ColumnRef) expr() {}
+
+// String renders "t.c" or "c".
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val value.Value
+}
+
+func (Literal) expr() {}
+
+// String renders the literal as SQL.
+func (l Literal) String() string { return l.Val.SQL() }
+
+// Param is a host variable or positional parameter appearing in embedded
+// SQL (e.g. `:emp-no` or `?`). It never joins anything.
+type Param struct {
+	Name string
+}
+
+func (Param) expr() {}
+
+// String renders the parameter spelling.
+func (p Param) String() string {
+	if p.Name == "" {
+		return "?"
+	}
+	return p.Name
+}
+
+// CompareOp is a comparison operator.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpEQ CompareOp = iota
+	OpNEQ
+	OpLT
+	OpLTE
+	OpGT
+	OpGTE
+	OpLike
+)
+
+// String renders the operator.
+func (o CompareOp) String() string {
+	switch o {
+	case OpEQ:
+		return "="
+	case OpNEQ:
+		return "<>"
+	case OpLT:
+		return "<"
+	case OpLTE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGTE:
+		return ">="
+	case OpLike:
+		return "LIKE"
+	default:
+		return "?"
+	}
+}
+
+// Compare is a binary comparison.
+type Compare struct {
+	Op    CompareOp
+	Left  Expr
+	Right Expr
+}
+
+func (Compare) expr() {}
+
+// String renders the comparison.
+func (c Compare) String() string {
+	return c.Left.String() + " " + c.Op.String() + " " + c.Right.String()
+}
+
+// And is a conjunction.
+type And struct{ Left, Right Expr }
+
+func (And) expr() {}
+
+// String renders the conjunction.
+func (a And) String() string { return a.Left.String() + " AND " + a.Right.String() }
+
+// Or is a disjunction.
+type Or struct{ Left, Right Expr }
+
+func (Or) expr() {}
+
+// String renders the disjunction with parentheses.
+func (o Or) String() string { return "(" + o.Left.String() + " OR " + o.Right.String() + ")" }
+
+// Not is a negation.
+type Not struct{ Inner Expr }
+
+func (Not) expr() {}
+
+// String renders the negation.
+func (n Not) String() string { return "NOT (" + n.Inner.String() + ")" }
+
+// IsNull tests an expression against NULL (IS [NOT] NULL).
+type IsNull struct {
+	Inner  Expr
+	Negate bool
+}
+
+func (IsNull) expr() {}
+
+// String renders the test.
+func (i IsNull) String() string {
+	if i.Negate {
+		return i.Inner.String() + " IS NOT NULL"
+	}
+	return i.Inner.String() + " IS NULL"
+}
+
+// InSubquery is `expr IN (SELECT ...)` — one of the nested spellings of an
+// equi-join the paper's extraction handles. InList is the literal-list
+// variant `expr IN (1,2,3)`.
+type InSubquery struct {
+	Left   Expr
+	Sub    *Select
+	Negate bool
+}
+
+func (InSubquery) expr() {}
+
+// String renders the predicate.
+func (i InSubquery) String() string {
+	op := " IN ("
+	if i.Negate {
+		op = " NOT IN ("
+	}
+	return i.Left.String() + op + i.Sub.String() + ")"
+}
+
+// InList is `expr IN (lit, lit, ...)`.
+type InList struct {
+	Left   Expr
+	Items  []Expr
+	Negate bool
+}
+
+func (InList) expr() {}
+
+// String renders the predicate.
+func (i InList) String() string {
+	parts := make([]string, len(i.Items))
+	for j, e := range i.Items {
+		parts[j] = e.String()
+	}
+	op := " IN ("
+	if i.Negate {
+		op = " NOT IN ("
+	}
+	return i.Left.String() + op + strings.Join(parts, ", ") + ")"
+}
+
+// Exists is `[NOT] EXISTS (SELECT ...)`, the correlated-subquery spelling
+// of a join.
+type Exists struct {
+	Sub    *Select
+	Negate bool
+}
+
+func (Exists) expr() {}
+
+// String renders the predicate.
+func (e Exists) String() string {
+	if e.Negate {
+		return "NOT EXISTS (" + e.Sub.String() + ")"
+	}
+	return "EXISTS (" + e.Sub.String() + ")"
+}
+
+// ForeignKey is an ALTER TABLE ... ADD FOREIGN KEY clause.
+type ForeignKey struct {
+	Columns  []string
+	RefTable string
+	RefCols  []string
+}
+
+// AlterTable adds a declarative constraint to an existing relation. Only
+// the constraint forms the method emits (and legacy dictionaries carry)
+// are represented.
+type AlterTable struct {
+	Table string
+	// Exactly one of the following is set.
+	Unique     []string // ADD UNIQUE (cols)
+	PrimaryKey []string // ADD PRIMARY KEY (cols)
+	FK         *ForeignKey
+}
+
+func (*AlterTable) stmt() {}
+
+// String renders the statement as SQL.
+func (s *AlterTable) String() string {
+	out := "ALTER TABLE " + s.Table + " ADD "
+	switch {
+	case len(s.Unique) > 0:
+		out += "UNIQUE (" + strings.Join(s.Unique, ", ") + ")"
+	case len(s.PrimaryKey) > 0:
+		out += "PRIMARY KEY (" + strings.Join(s.PrimaryKey, ", ") + ")"
+	case s.FK != nil:
+		out += "FOREIGN KEY (" + strings.Join(s.FK.Columns, ", ") +
+			") REFERENCES " + s.FK.RefTable + " (" + strings.Join(s.FK.RefCols, ", ") + ")"
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Package lexer tokenizes the SQL subset. It follows the conventions of the
+// legacy dictionaries the paper targets: identifiers may embed hyphens
+// (`zip-code`, `project-name`), string literals use single quotes with ”
+// escaping, comments are `--` to end of line or `/* ... */`, and host
+// variables (`:emp-no`, `?`) appear inside embedded SQL.
+package lexer
+
+import (
+	"strings"
+
+	"dbre/internal/sql/token"
+)
+
+// Lexer produces tokens from an input string.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// New creates a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+// Tokenize lexes the whole input and returns the token stream terminated by
+// EOF. Illegal characters become ILLEGAL tokens; the lexer never fails.
+func Tokenize(src string) []token.Token {
+	l := New(src)
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Type == token.EOF {
+			return out
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+	}
+	return c
+}
+
+func isSpace(c byte) bool  { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' }
+func isIdentMid(c byte) bool {
+	return isLetter(c) || isDigit(c)
+}
+
+// skipTrivia consumes whitespace and comments.
+func (l *Lexer) skipTrivia() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '-' && l.peekAt(1) == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && !(l.peek() == '*' && l.peekAt(1) == '/') {
+				l.advance()
+			}
+			if l.pos < len(l.src) {
+				l.advance()
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipTrivia()
+	start, line := l.pos, l.line
+	mk := func(t token.Type, text string) token.Token {
+		return token.Token{Type: t, Text: text, Pos: start, Line: line}
+	}
+	if l.pos >= len(l.src) {
+		return mk(token.EOF, "")
+	}
+	c := l.advance()
+	switch {
+	case isLetter(c):
+		return l.ident(start, line)
+	case isDigit(c):
+		return l.number(start, line)
+	case c == '\'':
+		return l.stringLit(start, line)
+	case c == '"':
+		return l.quotedIdent(start, line)
+	}
+	switch c {
+	case '(':
+		return mk(token.LPAREN, "(")
+	case ')':
+		return mk(token.RPAREN, ")")
+	case ',':
+		return mk(token.COMMA, ",")
+	case ';':
+		return mk(token.SEMI, ";")
+	case '.':
+		return mk(token.DOT, ".")
+	case '*':
+		return mk(token.STAR, "*")
+	case '=':
+		return mk(token.EQ, "=")
+	case '+':
+		return mk(token.PLUS, "+")
+	case '/':
+		return mk(token.SLASH, "/")
+	case '?':
+		return mk(token.PARAM, "?")
+	case ':':
+		// Host variable, e.g. :emp-no inside embedded SQL.
+		for l.pos < len(l.src) && (isIdentMid(l.peek()) || l.peek() == '-') {
+			l.advance()
+		}
+		return mk(token.PARAM, l.src[start:l.pos])
+	case '<':
+		if l.peek() == '>' {
+			l.advance()
+			return mk(token.NEQ, "<>")
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.LTE, "<=")
+		}
+		return mk(token.LT, "<")
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.GTE, ">=")
+		}
+		return mk(token.GT, ">")
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.NEQ, "!=")
+		}
+		return mk(token.ILLEGAL, "!")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return mk(token.CONCAT, "||")
+		}
+		return mk(token.ILLEGAL, "|")
+	case '-':
+		if isDigit(l.peek()) {
+			return l.number(start, line)
+		}
+		return mk(token.MINUS, "-")
+	}
+	return mk(token.ILLEGAL, string(c))
+}
+
+// ident lexes an identifier or keyword. A hyphen continues the identifier
+// only when followed by a letter or digit, so `zip-code` is one identifier
+// while `a - b` and `a -1` are not. Hyphenated spellings never form
+// keywords.
+func (l *Lexer) ident(start, line int) token.Token {
+	hyphenated := false
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if isIdentMid(c) {
+			l.advance()
+			continue
+		}
+		if c == '-' && isIdentMid(l.peekAt(1)) {
+			hyphenated = true
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if hyphenated {
+		return token.Token{Type: token.IDENT, Text: text, Pos: start, Line: line}
+	}
+	return token.Token{Type: token.Lookup(text), Text: text, Pos: start, Line: line}
+}
+
+// number lexes an integer or decimal literal, including a leading '-'.
+func (l *Lexer) number(start, line int) token.Token {
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peekAt(1)) {
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	return token.Token{Type: token.NUMBER, Text: l.src[start:l.pos], Pos: start, Line: line}
+}
+
+// stringLit lexes a single-quoted literal with ” escaping. The token text
+// is the unescaped body.
+func (l *Lexer) stringLit(start, line int) token.Token {
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.advance()
+		if c == '\'' {
+			if l.peek() == '\'' {
+				l.advance()
+				b.WriteByte('\'')
+				continue
+			}
+			return token.Token{Type: token.STRING, Text: b.String(), Pos: start, Line: line}
+		}
+		b.WriteByte(c)
+	}
+	return token.Token{Type: token.ILLEGAL, Text: l.src[start:l.pos], Pos: start, Line: line}
+}
+
+// quotedIdent lexes a double-quoted identifier; the token text is the body.
+func (l *Lexer) quotedIdent(start, line int) token.Token {
+	bodyStart := l.pos
+	for l.pos < len(l.src) {
+		if l.advance() == '"' {
+			return token.Token{Type: token.IDENT, Text: l.src[bodyStart : l.pos-1], Pos: start, Line: line}
+		}
+	}
+	return token.Token{Type: token.ILLEGAL, Text: l.src[start:l.pos], Pos: start, Line: line}
+}

@@ -1,0 +1,189 @@
+package lexer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dbre/internal/sql/token"
+)
+
+func types(src string) []token.Type {
+	var out []token.Type
+	for _, t := range Tokenize(src) {
+		out = append(out, t.Type)
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := Tokenize("select a, b from T where a = 1;")
+	want := []token.Type{
+		token.SELECT, token.IDENT, token.COMMA, token.IDENT, token.FROM,
+		token.IDENT, token.WHERE, token.IDENT, token.EQ, token.NUMBER,
+		token.SEMI, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens: %v", len(got), got)
+	}
+	for i, w := range want {
+		if got[i].Type != w {
+			t.Errorf("token %d = %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+func TestHyphenatedIdent(t *testing.T) {
+	got := Tokenize("zip-code = project-name")
+	if got[0].Type != token.IDENT || got[0].Text != "zip-code" {
+		t.Errorf("token 0 = %v", got[0])
+	}
+	if got[2].Type != token.IDENT || got[2].Text != "project-name" {
+		t.Errorf("token 2 = %v", got[2])
+	}
+	// Hyphenated spelling never becomes a keyword.
+	got2 := Tokenize("select-x")
+	if got2[0].Type != token.IDENT || got2[0].Text != "select-x" {
+		t.Errorf("select-x = %v", got2[0])
+	}
+}
+
+func TestMinusVsHyphen(t *testing.T) {
+	// "a - b": '-' followed by space is MINUS.
+	got := types("a - b")
+	if got[1] != token.MINUS {
+		t.Errorf("a - b: %v", got)
+	}
+	// "-5" after '=' is a negative NUMBER.
+	got2 := Tokenize("x = -5")
+	if got2[2].Type != token.NUMBER || got2[2].Text != "-5" {
+		t.Errorf("x = -5: %v", got2[2])
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := types("a -- comment to eol\n , /* block\nspanning */ b")
+	want := []token.Type{token.IDENT, token.COMMA, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	// Unterminated block comment just ends.
+	got2 := types("a /* never closed")
+	if len(got2) != 2 || got2[0] != token.IDENT {
+		t.Errorf("unterminated comment: %v", got2)
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	got := Tokenize("'hello' 'o''brien' ''")
+	if got[0].Type != token.STRING || got[0].Text != "hello" {
+		t.Errorf("token 0 = %v", got[0])
+	}
+	if got[1].Type != token.STRING || got[1].Text != "o'brien" {
+		t.Errorf("token 1 = %v", got[1])
+	}
+	if got[2].Type != token.STRING || got[2].Text != "" {
+		t.Errorf("token 2 = %v", got[2])
+	}
+	// Unterminated.
+	got2 := Tokenize("'oops")
+	if got2[0].Type != token.ILLEGAL {
+		t.Errorf("unterminated string = %v", got2[0])
+	}
+}
+
+func TestQuotedIdent(t *testing.T) {
+	got := Tokenize(`"Strange Name" x`)
+	if got[0].Type != token.IDENT || got[0].Text != "Strange Name" {
+		t.Errorf("token 0 = %v", got[0])
+	}
+	got2 := Tokenize(`"oops`)
+	if got2[0].Type != token.ILLEGAL {
+		t.Errorf("unterminated quoted ident = %v", got2[0])
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := types("= <> != < <= > >= + / || . * ( ) , ;")
+	want := []token.Type{
+		token.EQ, token.NEQ, token.NEQ, token.LT, token.LTE, token.GT,
+		token.GTE, token.PLUS, token.SLASH, token.CONCAT, token.DOT,
+		token.STAR, token.LPAREN, token.RPAREN, token.COMMA, token.SEMI,
+		token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHostVariables(t *testing.T) {
+	got := Tokenize("where emp = :emp-no and x = ?")
+	var params []token.Token
+	for _, tk := range got {
+		if tk.Type == token.PARAM {
+			params = append(params, tk)
+		}
+	}
+	if len(params) != 2 || params[0].Text != ":emp-no" || params[1].Text != "?" {
+		t.Errorf("params = %v", params)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	got := Tokenize("42 4.5 0.125 7.")
+	if got[0].Text != "42" || got[1].Text != "4.5" || got[2].Text != "0.125" {
+		t.Errorf("numbers = %v", got[:3])
+	}
+	// "7." does not absorb the dot (no digit follows).
+	if got[3].Text != "7" || got[4].Type != token.DOT {
+		t.Errorf("7. = %v %v", got[3], got[4])
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	got := Tokenize("SeLeCt FROM where")
+	if got[0].Type != token.SELECT || got[1].Type != token.FROM || got[2].Type != token.WHERE {
+		t.Errorf("got %v", got)
+	}
+	// Original spelling retained.
+	if got[0].Text != "SeLeCt" {
+		t.Errorf("text = %q", got[0].Text)
+	}
+}
+
+func TestIllegalAndLines(t *testing.T) {
+	got := Tokenize("a\n@\nb")
+	if got[1].Type != token.ILLEGAL {
+		t.Errorf("@ = %v", got[1])
+	}
+	if got[0].Line != 1 || got[1].Line != 2 || got[2].Line != 3 {
+		t.Errorf("lines = %d %d %d", got[0].Line, got[1].Line, got[2].Line)
+	}
+	got2 := Tokenize("! |")
+	if got2[0].Type != token.ILLEGAL || got2[1].Type != token.ILLEGAL {
+		t.Errorf("! | = %v", got2)
+	}
+}
+
+func TestQuickNeverPanicsAndTerminates(t *testing.T) {
+	f := func(src string) bool {
+		toks := Tokenize(src)
+		return len(toks) > 0 && toks[len(toks)-1].Type == token.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if got := (token.Token{Type: token.IDENT, Text: "x"}).String(); got != "IDENT(x)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (token.Token{Type: token.SELECT}).String(); got != "SELECT" {
+		t.Errorf("String = %q", got)
+	}
+}

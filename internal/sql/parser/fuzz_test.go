@@ -1,0 +1,61 @@
+package parser
+
+import (
+	"testing"
+
+	"dbre/internal/sql/lexer"
+	"dbre/internal/sql/token"
+)
+
+// FuzzParseStatement drives the parser with arbitrary input; the invariant
+// is simply "never panic, never hang". Run with `go test -fuzz
+// FuzzParseStatement` for continuous fuzzing; the seed corpus below runs
+// as part of the normal test suite.
+func FuzzParseStatement(f *testing.F) {
+	seeds := []string{
+		"",
+		";",
+		"SELECT",
+		"SELECT a FROM t",
+		"SELECT a, b FROM t x, u y WHERE x.a = y.b AND a IN (SELECT c FROM v)",
+		"SELECT COUNT(DISTINCT a, b) FROM t INTERSECT SELECT * FROM u",
+		"CREATE TABLE t (a INTEGER PRIMARY KEY, zip-code VARCHAR(10) NOT NULL, UNIQUE (a))",
+		"INSERT INTO t (a) VALUES (1), (-2), ('x''y'), (NULL), (TRUE)",
+		"UPDATE t SET a = 1, b = :host WHERE c = ?",
+		"DELETE FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.y)",
+		"ALTER TABLE t ADD FOREIGN KEY (a, b) REFERENCES s (c, d)",
+		"SELECT x INTO :v FROM t WHERE x BETWEEN 1 AND 2 OR NOT y LIKE 'a%'",
+		"SELECT 'unterminated",
+		"SELECT \x00\x01\xff FROM \"quoted ident",
+		"((((((((((",
+		"SELECT a FROM t ORDER BY a GROUP BY b HAVING c",
+		"-- just a comment\n/* and another",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Both entry points must be total.
+		_, _ = ParseStatement(src)
+		_, _ = ParseScript(src)
+	})
+}
+
+// FuzzTokenize checks the lexer is total and always terminates with EOF.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range []string{"", "select 'a''b' -- c\n<=>=<>!=||", ":hv ?", "\"q\" 1.5 -3 a-b"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks := lexer.Tokenize(src)
+		if len(toks) == 0 || toks[len(toks)-1].Type != token.EOF {
+			t.Fatalf("token stream not EOF-terminated for %q", src)
+		}
+		// Position monotonicity.
+		for i := 1; i < len(toks); i++ {
+			if toks[i].Pos < toks[i-1].Pos {
+				t.Fatalf("positions not monotone at %d for %q", i, src)
+			}
+		}
+	})
+}

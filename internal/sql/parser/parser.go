@@ -1,0 +1,883 @@
+// Package parser implements a recursive-descent parser for the SQL subset:
+// CREATE TABLE with UNIQUE / NOT NULL / PRIMARY KEY declarations, INSERT,
+// SELECT with implicit (WHERE-equality) and explicit (JOIN..ON) joins,
+// nested IN/EXISTS subqueries, INTERSECT, and the UPDATE/DELETE shapes that
+// occur in application programs.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dbre/internal/sql/ast"
+	"dbre/internal/sql/lexer"
+	"dbre/internal/sql/token"
+	"dbre/internal/value"
+)
+
+// Parser consumes a token stream.
+type Parser struct {
+	toks []token.Token
+	pos  int
+}
+
+// New creates a parser over src.
+func New(src string) *Parser { return &Parser{toks: lexer.Tokenize(src)} }
+
+// ParseStatement parses a single statement from src (a trailing semicolon
+// and trailing garbage are tolerated: legacy sources rarely end cleanly).
+func ParseStatement(src string) (ast.Statement, error) {
+	p := New(src)
+	s, err := p.Statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(token.SEMI)
+	return s, nil
+}
+
+// ParseScript parses a ;-separated list of statements. Statements that fail
+// to parse are returned in errs with their offending text; parsing
+// continues at the next semicolon, which is the robust behaviour the
+// program-scanning front end needs on real-world sources.
+func ParseScript(src string) (stmts []ast.Statement, errs []error) {
+	for _, piece := range SplitStatements(src) {
+		s, err := ParseStatement(piece)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("parsing %q: %w", truncate(piece, 60), err))
+			continue
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, errs
+}
+
+// SplitStatements splits src on semicolons that are outside string
+// literals and comments.
+func SplitStatements(src string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inStr:
+			if c == '\'' {
+				inStr = false
+			}
+		case c == '\'':
+			inStr = true
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ';' && depth <= 0:
+			if piece := strings.TrimSpace(src[start:i]); piece != "" {
+				out = append(out, piece)
+			}
+			start = i + 1
+		}
+	}
+	if piece := strings.TrimSpace(src[start:]); piece != "" {
+		out = append(out, piece)
+	}
+	return out
+}
+
+func truncate(s string, n int) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
+}
+
+func (p *Parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *Parser) next() token.Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) accept(t token.Type) bool {
+	if p.cur().Type == t {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(t token.Type) (token.Token, error) {
+	if p.cur().Type == t {
+		return p.next(), nil
+	}
+	return token.Token{}, fmt.Errorf("line %d: expected %v, found %v", p.cur().Line, t, p.cur())
+}
+
+// Statement parses one statement.
+func (p *Parser) Statement() (ast.Statement, error) {
+	switch p.cur().Type {
+	case token.CREATE:
+		return p.createTable()
+	case token.ALTER:
+		return p.alterTable()
+	case token.INSERT:
+		return p.insert()
+	case token.SELECT:
+		return p.selectStmt()
+	case token.UPDATE:
+		return p.update()
+	case token.DELETE:
+		return p.deleteStmt()
+	default:
+		return nil, fmt.Errorf("line %d: unexpected %v at statement start", p.cur().Line, p.cur())
+	}
+}
+
+// ident accepts an IDENT or any keyword used as a name (legacy schemas use
+// words like DATE, KEY or COUNT as identifiers).
+func (p *Parser) ident() (string, error) {
+	t := p.cur()
+	if t.Type == token.IDENT || t.Type.IsKeyword() {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", fmt.Errorf("line %d: expected identifier, found %v", t.Line, t)
+}
+
+func (p *Parser) createTable() (ast.Statement, error) {
+	p.next() // CREATE
+	if _, err := p.expect(token.TABLE); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	out := &ast.CreateTable{Name: name}
+	for {
+		switch p.cur().Type {
+		case token.PRIMARY, token.UNIQUE:
+			isPK := p.next().Type == token.PRIMARY
+			if isPK {
+				if _, err := p.expect(token.KEY); err != nil {
+					return nil, err
+				}
+			}
+			cols, err := p.parenIdentList()
+			if err != nil {
+				return nil, err
+			}
+			if isPK {
+				// Primary key goes first.
+				out.Uniques = append([][]string{cols}, out.Uniques...)
+			} else {
+				out.Uniques = append(out.Uniques, cols)
+			}
+		default:
+			col, err := p.columnDef()
+			if err != nil {
+				return nil, err
+			}
+			out.Columns = append(out.Columns, col)
+		}
+		if p.accept(token.COMMA) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *Parser) parenIdentList() ([]string, error) {
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func (p *Parser) columnDef() (ast.ColumnDef, error) {
+	var col ast.ColumnDef
+	name, err := p.ident()
+	if err != nil {
+		return col, err
+	}
+	typeName, err := p.ident()
+	if err != nil {
+		return col, fmt.Errorf("column %s: %w", name, err)
+	}
+	// Optional (n) or (n, m) length spec.
+	if p.accept(token.LPAREN) {
+		for p.cur().Type == token.NUMBER || p.cur().Type == token.COMMA {
+			p.next()
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return col, err
+		}
+	}
+	col.Name, col.TypeName = name, typeName
+	col.Kind = value.KindFromTypeName(typeName)
+	for {
+		switch {
+		case p.cur().Type == token.NOT:
+			p.next()
+			if _, err := p.expect(token.NULL); err != nil {
+				return col, err
+			}
+			col.NotNull = true
+		case p.cur().Type == token.UNIQUE:
+			p.next()
+			col.Unique = true
+		case p.cur().Type == token.PRIMARY:
+			p.next()
+			if _, err := p.expect(token.KEY); err != nil {
+				return col, err
+			}
+			col.Unique = true
+		default:
+			return col, nil
+		}
+	}
+}
+
+func (p *Parser) insert() (ast.Statement, error) {
+	p.next() // INSERT
+	if _, err := p.expect(token.INTO); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	out := &ast.Insert{Table: name}
+	if p.cur().Type == token.LPAREN {
+		cols, err := p.parenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		out.Columns = cols
+	}
+	if _, err := p.expect(token.VALUES); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(token.LPAREN); err != nil {
+			return nil, err
+		}
+		var row []ast.Expr
+		for {
+			e, err := p.scalar()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (p *Parser) selectStmt() (*ast.Select, error) {
+	if _, err := p.expect(token.SELECT); err != nil {
+		return nil, err
+	}
+	out := &ast.Select{Distinct: p.accept(token.DISTINCT)}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		out.Items = append(out.Items, item)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	// Embedded SQL: SELECT ... INTO :host-var, :host-var FROM ... — the
+	// host-variable list carries no schema information and is skipped.
+	if p.accept(token.INTO) {
+		for {
+			if p.cur().Type == token.PARAM {
+				p.next()
+			} else if _, err := p.ident(); err != nil {
+				return nil, err
+			}
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(token.FROM); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		out.From = append(out.From, tr)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	for {
+		if p.cur().Type == token.INNER {
+			p.next()
+			if p.cur().Type != token.JOIN {
+				return nil, fmt.Errorf("line %d: expected JOIN after INNER", p.cur().Line)
+			}
+		}
+		if !p.accept(token.JOIN) {
+			break
+		}
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.ON); err != nil {
+			return nil, err
+		}
+		on, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Joins = append(out.Joins, ast.JoinClause{Table: tr, On: on})
+	}
+	if p.accept(token.WHERE) {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Where = w
+	}
+	// GROUP BY ... HAVING is skipped structurally (irrelevant to joins);
+	// ORDER BY is parsed and honored by the executor.
+	p.skipTrailingClauses()
+	if p.cur().Type == token.ORDER {
+		p.next()
+		if _, err := p.expect(token.BY); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := ast.OrderItem{Col: col}
+			switch {
+			case p.cur().Type == token.IDENT && strings.EqualFold(p.cur().Text, "DESC"):
+				p.next()
+				item.Desc = true
+			case p.cur().Type == token.IDENT && strings.EqualFold(p.cur().Text, "ASC"):
+				p.next()
+			}
+			out.OrderBy = append(out.OrderBy, item)
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	if p.accept(token.INTERSECT) {
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		out.Intersect = sub
+	}
+	return out, nil
+}
+
+// skipTrailingClauses consumes GROUP BY ... HAVING tails, which carry no
+// join information, up to ORDER BY, INTERSECT, ')' or end of statement.
+func (p *Parser) skipTrailingClauses() {
+	for p.cur().Type == token.GROUP {
+		p.next()
+		for {
+			t := p.cur().Type
+			if t == token.EOF || t == token.SEMI || t == token.RPAREN ||
+				t == token.INTERSECT || t == token.ORDER {
+				return
+			}
+			p.next()
+		}
+	}
+}
+
+func (p *Parser) selectItem() (ast.SelectItem, error) {
+	if p.accept(token.STAR) {
+		return ast.SelectItem{Star: true}, nil
+	}
+	if p.cur().Type == token.COUNT && p.toks[p.pos+1].Type == token.LPAREN {
+		p.next()
+		p.next()
+		if p.accept(token.STAR) {
+			if _, err := p.expect(token.RPAREN); err != nil {
+				return ast.SelectItem{}, err
+			}
+			return ast.SelectItem{CountStar: true}, nil
+		}
+		if _, err := p.expect(token.DISTINCT); err != nil {
+			return ast.SelectItem{}, err
+		}
+		var cols []ast.ColumnRef
+		for {
+			c, err := p.columnRef()
+			if err != nil {
+				return ast.SelectItem{}, err
+			}
+			cols = append(cols, c)
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return ast.SelectItem{}, err
+		}
+		return ast.SelectItem{CountDistinct: cols}, nil
+	}
+	e, err := p.scalar()
+	if err != nil {
+		return ast.SelectItem{}, err
+	}
+	item := ast.SelectItem{Expr: e}
+	if p.accept(token.AS) {
+		a, err := p.ident()
+		if err != nil {
+			return ast.SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.cur().Type == token.IDENT {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *Parser) tableRef() (ast.TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ast.TableRef{}, err
+	}
+	tr := ast.TableRef{Name: name}
+	if p.accept(token.AS) {
+		a, err := p.ident()
+		if err != nil {
+			return ast.TableRef{}, err
+		}
+		tr.Alias = a
+	} else if p.cur().Type == token.IDENT {
+		tr.Alias = p.next().Text
+	}
+	return tr, nil
+}
+
+// columnRef parses t.c or c.
+func (p *Parser) columnRef() (ast.ColumnRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ast.ColumnRef{}, err
+	}
+	if p.accept(token.DOT) {
+		second, err := p.ident()
+		if err != nil {
+			return ast.ColumnRef{}, err
+		}
+		return ast.ColumnRef{Table: first, Name: second}, nil
+	}
+	return ast.ColumnRef{Name: first}, nil
+}
+
+// orExpr = andExpr (OR andExpr)*
+func (p *Parser) orExpr() (ast.Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(token.OR) {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = ast.Or{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// andExpr = predicate (AND predicate)*
+func (p *Parser) andExpr() (ast.Expr, error) {
+	left, err := p.predicate()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(token.AND) {
+		right, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		left = ast.And{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// predicate parses NOT, EXISTS, parenthesized boolean expressions and
+// comparisons.
+func (p *Parser) predicate() (ast.Expr, error) {
+	switch p.cur().Type {
+	case token.NOT:
+		p.next()
+		inner, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Not{Inner: inner}, nil
+	case token.EXISTS:
+		p.next()
+		if _, err := p.expect(token.LPAREN); err != nil {
+			return nil, err
+		}
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return ast.Exists{Sub: sub}, nil
+	case token.LPAREN:
+		// Could be a parenthesized boolean expression; scalar parens are
+		// not part of the subset, so commit to boolean.
+		p.next()
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	left, err := p.scalar()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Type {
+	case token.IS:
+		p.next()
+		neg := p.accept(token.NOT)
+		if _, err := p.expect(token.NULL); err != nil {
+			return nil, err
+		}
+		return ast.IsNull{Inner: left, Negate: neg}, nil
+	case token.NOT:
+		p.next()
+		if p.cur().Type == token.IN {
+			return p.inPredicate(left, true)
+		}
+		if p.cur().Type == token.LIKE {
+			p.next()
+			right, err := p.scalar()
+			if err != nil {
+				return nil, err
+			}
+			return ast.Not{Inner: ast.Compare{Op: ast.OpLike, Left: left, Right: right}}, nil
+		}
+		return nil, fmt.Errorf("line %d: expected IN or LIKE after NOT", p.cur().Line)
+	case token.IN:
+		return p.inPredicate(left, false)
+	case token.LIKE:
+		p.next()
+		right, err := p.scalar()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Compare{Op: ast.OpLike, Left: left, Right: right}, nil
+	case token.BETWEEN:
+		p.next()
+		lo, err := p.scalar()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.AND); err != nil {
+			return nil, err
+		}
+		hi, err := p.scalar()
+		if err != nil {
+			return nil, err
+		}
+		return ast.And{
+			Left:  ast.Compare{Op: ast.OpGTE, Left: left, Right: lo},
+			Right: ast.Compare{Op: ast.OpLTE, Left: left, Right: hi},
+		}, nil
+	}
+	op, err := p.compareOp()
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.scalar()
+	if err != nil {
+		return nil, err
+	}
+	return ast.Compare{Op: op, Left: left, Right: right}, nil
+}
+
+func (p *Parser) inPredicate(left ast.Expr, negate bool) (ast.Expr, error) {
+	if _, err := p.expect(token.IN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	if p.cur().Type == token.SELECT {
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return ast.InSubquery{Left: left, Sub: sub, Negate: negate}, nil
+	}
+	var items []ast.Expr
+	for {
+		e, err := p.scalar()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, e)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	return ast.InList{Left: left, Items: items, Negate: negate}, nil
+}
+
+func (p *Parser) compareOp() (ast.CompareOp, error) {
+	switch p.next().Type {
+	case token.EQ:
+		return ast.OpEQ, nil
+	case token.NEQ:
+		return ast.OpNEQ, nil
+	case token.LT:
+		return ast.OpLT, nil
+	case token.LTE:
+		return ast.OpLTE, nil
+	case token.GT:
+		return ast.OpGT, nil
+	case token.GTE:
+		return ast.OpGTE, nil
+	default:
+		p.pos--
+		return 0, fmt.Errorf("line %d: expected comparison operator, found %v", p.cur().Line, p.cur())
+	}
+}
+
+// scalar parses a column reference, literal or host parameter.
+func (p *Parser) scalar() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Type {
+	case token.NUMBER:
+		p.next()
+		if strings.ContainsAny(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad number %q", t.Line, t.Text)
+			}
+			return ast.Literal{Val: value.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad number %q", t.Line, t.Text)
+		}
+		return ast.Literal{Val: value.NewInt(i)}, nil
+	case token.STRING:
+		p.next()
+		return ast.Literal{Val: value.NewString(t.Text)}, nil
+	case token.NULL:
+		p.next()
+		return ast.Literal{Val: value.Null}, nil
+	case token.TRUE:
+		p.next()
+		return ast.Literal{Val: value.NewBool(true)}, nil
+	case token.FALSE:
+		p.next()
+		return ast.Literal{Val: value.NewBool(false)}, nil
+	case token.PARAM:
+		p.next()
+		return ast.Param{Name: t.Text}, nil
+	case token.MINUS:
+		p.next()
+		inner, err := p.scalar()
+		if err != nil {
+			return nil, err
+		}
+		lit, ok := inner.(ast.Literal)
+		if !ok {
+			return nil, fmt.Errorf("line %d: unary minus on non-literal", t.Line)
+		}
+		switch lit.Val.Kind() {
+		case value.KindInt:
+			return ast.Literal{Val: value.NewInt(-lit.Val.Int())}, nil
+		case value.KindFloat:
+			return ast.Literal{Val: value.NewFloat(-lit.Val.Float())}, nil
+		default:
+			return nil, fmt.Errorf("line %d: unary minus on %v", t.Line, lit.Val.Kind())
+		}
+	}
+	return p.columnRef()
+}
+
+func (p *Parser) update() (ast.Statement, error) {
+	p.next() // UPDATE
+	tr, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SET); err != nil {
+		return nil, err
+	}
+	out := &ast.Update{Table: tr}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.EQ); err != nil {
+			return nil, err
+		}
+		v, err := p.scalar()
+		if err != nil {
+			return nil, err
+		}
+		out.Set = append(out.Set, ast.Assignment{Column: col, Value: v})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	if p.accept(token.WHERE) {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Where = w
+	}
+	return out, nil
+}
+
+func (p *Parser) deleteStmt() (ast.Statement, error) {
+	p.next() // DELETE
+	if _, err := p.expect(token.FROM); err != nil {
+		return nil, err
+	}
+	tr, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	out := &ast.Delete{Table: tr}
+	if p.accept(token.WHERE) {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Where = w
+	}
+	return out, nil
+}
+
+// alterTable parses ALTER TABLE <name> ADD [CONSTRAINT <x>]
+// {UNIQUE (cols) | PRIMARY KEY (cols) | FOREIGN KEY (cols) REFERENCES
+// <name> (cols)} — the constraint forms the method itself emits.
+func (p *Parser) alterTable() (ast.Statement, error) {
+	p.next() // ALTER
+	if _, err := p.expect(token.TABLE); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.ADD); err != nil {
+		return nil, err
+	}
+	if p.accept(token.CONSTRAINT) {
+		if _, err := p.ident(); err != nil { // constraint name, ignored
+			return nil, err
+		}
+	}
+	out := &ast.AlterTable{Table: name}
+	switch p.cur().Type {
+	case token.UNIQUE:
+		p.next()
+		cols, err := p.parenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		out.Unique = cols
+	case token.PRIMARY:
+		p.next()
+		if _, err := p.expect(token.KEY); err != nil {
+			return nil, err
+		}
+		cols, err := p.parenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		out.PrimaryKey = cols
+	case token.FOREIGN:
+		p.next()
+		if _, err := p.expect(token.KEY); err != nil {
+			return nil, err
+		}
+		cols, err := p.parenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.REFERENCES); err != nil {
+			return nil, err
+		}
+		ref, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		refCols, err := p.parenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		out.FK = &ast.ForeignKey{Columns: cols, RefTable: ref, RefCols: refCols}
+	default:
+		return nil, fmt.Errorf("line %d: expected UNIQUE, PRIMARY KEY or FOREIGN KEY, found %v",
+			p.cur().Line, p.cur())
+	}
+	return out, nil
+}

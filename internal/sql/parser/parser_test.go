@@ -1,0 +1,411 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dbre/internal/sql/ast"
+	"dbre/internal/value"
+)
+
+func mustParse(t *testing.T, src string) ast.Statement {
+	t.Helper()
+	s, err := ParseStatement(src)
+	if err != nil {
+		t.Fatalf("ParseStatement(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestCreateTablePaperExample(t *testing.T) {
+	src := `CREATE TABLE Department (
+		dep      INTEGER PRIMARY KEY,
+		emp      INTEGER,
+		skill    VARCHAR(40),
+		location VARCHAR(60) NOT NULL,
+		proj     INTEGER
+	);`
+	s := mustParse(t, src).(*ast.CreateTable)
+	if s.Name != "Department" || len(s.Columns) != 5 {
+		t.Fatalf("parsed %v", s)
+	}
+	if !s.Columns[0].Unique || s.Columns[0].Kind != value.KindInt {
+		t.Errorf("dep = %+v", s.Columns[0])
+	}
+	if !s.Columns[3].NotNull || s.Columns[3].Kind != value.KindString {
+		t.Errorf("location = %+v", s.Columns[3])
+	}
+}
+
+func TestCreateTableTableLevelKeys(t *testing.T) {
+	src := `CREATE TABLE Assignment (
+		emp INTEGER, dep INTEGER, proj INTEGER,
+		date DATE, project-name VARCHAR(80),
+		UNIQUE (date),
+		PRIMARY KEY (emp, dep, proj)
+	)`
+	s := mustParse(t, src).(*ast.CreateTable)
+	if len(s.Uniques) != 2 {
+		t.Fatalf("Uniques = %v", s.Uniques)
+	}
+	// PRIMARY KEY is hoisted to front.
+	if strings.Join(s.Uniques[0], ",") != "emp,dep,proj" {
+		t.Errorf("primary = %v", s.Uniques[0])
+	}
+	if s.Columns[4].Name != "project-name" {
+		t.Errorf("hyphenated column = %v", s.Columns[4])
+	}
+}
+
+func TestInsert(t *testing.T) {
+	s := mustParse(t, `INSERT INTO Person (id, name) VALUES (1, 'Alice'), (2, NULL)`).(*ast.Insert)
+	if s.Table != "Person" || len(s.Columns) != 2 || len(s.Rows) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if lit := s.Rows[0][1].(ast.Literal); lit.Val.Str() != "Alice" {
+		t.Errorf("row0 = %v", s.Rows[0])
+	}
+	if lit := s.Rows[1][1].(ast.Literal); !lit.Val.IsNull() {
+		t.Errorf("row1 = %v", s.Rows[1])
+	}
+	// Without column list.
+	s2 := mustParse(t, `INSERT INTO T VALUES (1, 2.5, TRUE, FALSE, -7)`).(*ast.Insert)
+	if s2.Columns != nil || len(s2.Rows[0]) != 5 {
+		t.Fatalf("parsed %+v", s2)
+	}
+	if lit := s2.Rows[0][4].(ast.Literal); lit.Val.Int() != -7 {
+		t.Errorf("negative literal = %v", s2.Rows[0][4])
+	}
+}
+
+func TestSelectImplicitJoin(t *testing.T) {
+	src := `SELECT p.name, h.salary
+	        FROM HEmployee h, Person p
+	        WHERE h.no = p.id AND h.salary > 1000`
+	s := mustParse(t, src).(*ast.Select)
+	if len(s.From) != 2 || s.From[0].Binding() != "h" || s.From[1].Binding() != "p" {
+		t.Fatalf("FROM = %v", s.From)
+	}
+	and, ok := s.Where.(ast.And)
+	if !ok {
+		t.Fatalf("Where = %T", s.Where)
+	}
+	cmp := and.Left.(ast.Compare)
+	if cmp.Op != ast.OpEQ {
+		t.Errorf("join predicate = %v", cmp)
+	}
+}
+
+func TestSelectExplicitJoin(t *testing.T) {
+	src := `SELECT * FROM Department d INNER JOIN HEmployee e ON d.emp = e.no JOIN Person p ON e.no = p.id`
+	s := mustParse(t, src).(*ast.Select)
+	if len(s.Joins) != 2 {
+		t.Fatalf("Joins = %v", s.Joins)
+	}
+	if s.Joins[0].Table.Binding() != "e" || s.Joins[1].Table.Binding() != "p" {
+		t.Errorf("join tables = %v", s.Joins)
+	}
+}
+
+func TestSelectNestedIn(t *testing.T) {
+	src := `SELECT name FROM Person WHERE id IN (SELECT no FROM HEmployee WHERE salary > 0)`
+	s := mustParse(t, src).(*ast.Select)
+	in, ok := s.Where.(ast.InSubquery)
+	if !ok {
+		t.Fatalf("Where = %T", s.Where)
+	}
+	if in.Sub.From[0].Name != "HEmployee" {
+		t.Errorf("subquery = %v", in.Sub)
+	}
+}
+
+func TestSelectExistsCorrelated(t *testing.T) {
+	src := `SELECT name FROM Person p WHERE EXISTS (SELECT * FROM HEmployee h WHERE h.no = p.id)`
+	s := mustParse(t, src).(*ast.Select)
+	ex, ok := s.Where.(ast.Exists)
+	if !ok {
+		t.Fatalf("Where = %T", s.Where)
+	}
+	if ex.Sub.Where == nil {
+		t.Error("correlated predicate lost")
+	}
+}
+
+func TestSelectIntersect(t *testing.T) {
+	src := `SELECT dep FROM Assignment INTERSECT SELECT dep FROM Department`
+	s := mustParse(t, src).(*ast.Select)
+	if s.Intersect == nil || s.Intersect.From[0].Name != "Department" {
+		t.Fatalf("Intersect = %v", s.Intersect)
+	}
+}
+
+func TestSelectCountForms(t *testing.T) {
+	s := mustParse(t, `SELECT COUNT(*) FROM T`).(*ast.Select)
+	if !s.Items[0].CountStar {
+		t.Error("COUNT(*) lost")
+	}
+	s2 := mustParse(t, `SELECT COUNT(DISTINCT a, b) FROM T`).(*ast.Select)
+	cd := s2.Items[0].CountDistinct
+	if len(cd) != 2 || cd[0].Name != "a" || cd[1].Name != "b" {
+		t.Errorf("COUNT DISTINCT = %v", cd)
+	}
+}
+
+func TestSelectMiscPredicates(t *testing.T) {
+	src := `SELECT a FROM T WHERE a IS NOT NULL AND b IS NULL AND c LIKE 'x%'
+	        AND d BETWEEN 1 AND 10 AND e IN (1, 2, 3) AND f NOT IN (4)
+	        AND NOT g = 5 AND (h = 1 OR h = 2) AND i <> 0 AND j != 1`
+	s := mustParse(t, src).(*ast.Select)
+	if s.Where == nil {
+		t.Fatal("WHERE lost")
+	}
+	str := s.Where.String()
+	for _, want := range []string{"IS NOT NULL", "IS NULL", "LIKE", ">=", "<=", "IN (1, 2, 3)", "NOT IN (4)", "OR"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("rendered WHERE misses %q: %s", want, str)
+		}
+	}
+}
+
+func TestSelectOrderGroupSkipped(t *testing.T) {
+	src := `SELECT a FROM T WHERE a = 1 ORDER BY a, b`
+	s := mustParse(t, src).(*ast.Select)
+	if s.Where == nil {
+		t.Error("WHERE lost before ORDER BY")
+	}
+	src2 := `SELECT a FROM T GROUP BY a HAVING a > 1 ORDER BY a`
+	if _, err := ParseStatement(src2); err != nil {
+		t.Errorf("GROUP BY tail: %v", err)
+	}
+}
+
+func TestHostVariables(t *testing.T) {
+	src := `SELECT name FROM Person WHERE id = :emp-no AND name = ?`
+	s := mustParse(t, src).(*ast.Select)
+	str := s.Where.String()
+	if !strings.Contains(str, ":emp-no") || !strings.Contains(str, "?") {
+		t.Errorf("params lost: %s", str)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	u := mustParse(t, `UPDATE Person SET name = 'X', state = NULL WHERE id = 1`).(*ast.Update)
+	if u.Table.Name != "Person" || len(u.Set) != 2 || u.Where == nil {
+		t.Fatalf("update = %+v", u)
+	}
+	d := mustParse(t, `DELETE FROM Person WHERE id = 2`).(*ast.Delete)
+	if d.Table.Name != "Person" || d.Where == nil {
+		t.Fatalf("delete = %+v", d)
+	}
+	d2 := mustParse(t, `DELETE FROM Person`).(*ast.Delete)
+	if d2.Where != nil {
+		t.Error("spurious WHERE")
+	}
+}
+
+func TestKeywordsAsIdentifiers(t *testing.T) {
+	// `date` is a column in the paper's example; `count`, `key` occur in
+	// legacy schemas.
+	src := `CREATE TABLE HEmployee (no INTEGER, date DATE, salary FLOAT, PRIMARY KEY (no, date))`
+	s := mustParse(t, src).(*ast.CreateTable)
+	if s.Columns[1].Name != "date" || s.Columns[1].Kind != value.KindDate {
+		t.Errorf("date column = %+v", s.Columns[1])
+	}
+	src2 := `SELECT date FROM HEmployee WHERE date = '1996-02-26'`
+	if _, err := ParseStatement(src2); err != nil {
+		t.Errorf("date in select: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"GRANT ALL",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM T WHERE",
+		"SELECT a FROM T WHERE a =",
+		"SELECT a FROM T WHERE a NOT 5",
+		"CREATE TABLE",
+		"CREATE TABLE T",
+		"CREATE TABLE T (",
+		"CREATE TABLE T (a INTEGER",
+		"INSERT INTO T",
+		"INSERT INTO T VALUES",
+		"INSERT INTO T VALUES (1",
+		"UPDATE T",
+		"DELETE T",
+		"SELECT a FROM T WHERE a IS 5",
+		"SELECT a FROM T WHERE - a = 1",
+	}
+	for _, src := range bad {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded", src)
+		}
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	src := `CREATE TABLE a (x INT); -- comment; with semicolon
+	INSERT INTO a VALUES (1);
+	SELECT x FROM a WHERE y = 'text with ; semicolon';`
+	got := SplitStatements(src)
+	if len(got) != 3 {
+		t.Fatalf("SplitStatements = %d pieces: %q", len(got), got)
+	}
+	// Leading comment text stays attached to the next piece; the lexer
+	// skips it, so the piece must still parse as the INSERT.
+	if s, err := ParseStatement(got[1]); err != nil {
+		t.Errorf("piece 1 does not parse: %v", err)
+	} else if _, ok := s.(*ast.Insert); !ok {
+		t.Errorf("piece 1 = %T", s)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	src := `CREATE TABLE a (x INT); BOGUS STATEMENT; INSERT INTO a VALUES (1);`
+	stmts, errs := ParseScript(src)
+	if len(stmts) != 2 || len(errs) != 1 {
+		t.Fatalf("stmts=%d errs=%d", len(stmts), len(errs))
+	}
+}
+
+func TestStatementStringsRoundTrip(t *testing.T) {
+	// String output of each parsed statement must re-parse to the same string.
+	srcs := []string{
+		`CREATE TABLE T (a INTEGER UNIQUE NOT NULL, b VARCHAR, UNIQUE (b))`,
+		`INSERT INTO T (a, b) VALUES (1, 'x')`,
+		`SELECT DISTINCT a, COUNT(*) FROM T t JOIN S s ON t.a = s.b WHERE a = 1 INTERSECT SELECT b FROM S`,
+		`UPDATE T SET a = 2 WHERE b = 'y'`,
+		`DELETE FROM T WHERE a = 1`,
+	}
+	for _, src := range srcs {
+		s1 := mustParse(t, src)
+		s2 := mustParse(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("round trip:\n  first  %s\n  second %s", s1, s2)
+		}
+	}
+}
+
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = ParseStatement(src)
+		_, _ = ParseScript(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+	// Also fuzz with SQL-ish fragments glued together.
+	frags := []string{"SELECT", "FROM", "WHERE", "a", "=", "1", "(", ")", ",",
+		"'s'", "IN", "EXISTS", "INTERSECT", "AND", "OR", "NOT", "COUNT", "*",
+		"JOIN", "ON", ";", "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "."}
+	f2 := func(picks []uint8) bool {
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(frags[int(p)%len(frags)])
+			b.WriteByte(' ')
+		}
+		_, _ = ParseStatement(b.String())
+		return true
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlterTable(t *testing.T) {
+	s := mustParse(t, `ALTER TABLE Assignment ADD FOREIGN KEY (emp) REFERENCES Employee (no)`).(*ast.AlterTable)
+	if s.Table != "Assignment" || s.FK == nil || s.FK.RefTable != "Employee" {
+		t.Fatalf("parsed %+v", s)
+	}
+	if strings.Join(s.FK.Columns, ",") != "emp" || strings.Join(s.FK.RefCols, ",") != "no" {
+		t.Errorf("FK cols = %+v", s.FK)
+	}
+	u := mustParse(t, `ALTER TABLE T ADD UNIQUE (a, b)`).(*ast.AlterTable)
+	if strings.Join(u.Unique, ",") != "a,b" {
+		t.Errorf("unique = %+v", u)
+	}
+	pk := mustParse(t, `ALTER TABLE T ADD CONSTRAINT pk_t PRIMARY KEY (a)`).(*ast.AlterTable)
+	if strings.Join(pk.PrimaryKey, ",") != "a" {
+		t.Errorf("pk = %+v", pk)
+	}
+	// Round trip.
+	for _, src := range []string{
+		`ALTER TABLE T ADD UNIQUE (a, b)`,
+		`ALTER TABLE T ADD PRIMARY KEY (a)`,
+		`ALTER TABLE T ADD FOREIGN KEY (x, y) REFERENCES S (u, v)`,
+	} {
+		s1 := mustParse(t, src)
+		s2 := mustParse(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("round trip: %s vs %s", s1, s2)
+		}
+	}
+	// Errors.
+	for _, bad := range []string{
+		`ALTER TABLE`,
+		`ALTER TABLE T`,
+		`ALTER TABLE T ADD`,
+		`ALTER TABLE T ADD CHECK (a > 0)`,
+		`ALTER TABLE T ADD FOREIGN KEY (a)`,
+		`ALTER TABLE T ADD FOREIGN KEY (a) REFERENCES`,
+	} {
+		if _, err := ParseStatement(bad); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	ops := map[string]ast.CompareOp{
+		"=": ast.OpEQ, "<>": ast.OpNEQ, "<": ast.OpLT, "<=": ast.OpLTE,
+		">": ast.OpGT, ">=": ast.OpGTE,
+	}
+	for op, want := range ops {
+		s := mustParse(t, "SELECT a FROM t WHERE a "+op+" 1").(*ast.Select)
+		cmp, ok := s.Where.(ast.Compare)
+		if !ok || cmp.Op != want {
+			t.Errorf("op %q parsed as %v", op, s.Where)
+		}
+	}
+	if _, err := ParseStatement("SELECT a FROM t WHERE a ~ 1"); err == nil {
+		t.Error("bogus operator accepted")
+	}
+}
+
+func TestTableRefAliases(t *testing.T) {
+	s := mustParse(t, "SELECT x.a FROM t AS x").(*ast.Select)
+	if s.From[0].Binding() != "x" {
+		t.Errorf("AS alias = %v", s.From[0])
+	}
+	s2 := mustParse(t, "SELECT a FROM t x, u").(*ast.Select)
+	if s2.From[0].Alias != "x" || s2.From[1].Alias != "" {
+		t.Errorf("bare alias = %v", s2.From)
+	}
+	if _, err := ParseStatement("SELECT a FROM t AS 123"); err == nil {
+		t.Error("numeric alias accepted")
+	}
+}
+
+func TestInPredicateEdgeCases(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)").(*ast.Select)
+	in, ok := s.Where.(ast.InSubquery)
+	if !ok || !in.Negate {
+		t.Errorf("NOT IN subquery = %v", s.Where)
+	}
+	bad := []string{
+		"SELECT a FROM t WHERE a IN",
+		"SELECT a FROM t WHERE a IN (",
+		"SELECT a FROM t WHERE a IN (1, )",
+		"SELECT a FROM t WHERE a IN (SELECT b FROM u",
+	}
+	for _, src := range bad {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded", src)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package token defines the lexical tokens of the SQL subset understood by
+// the reverse-engineering front-end: the DDL found in legacy data
+// dictionaries and the DML embedded in application programs.
+package token
+
+import "strings"
+
+// Type identifies a class of token.
+type Type int
+
+// Token types. Keywords get their own types so the parser stays flat.
+const (
+	ILLEGAL Type = iota
+	EOF
+
+	IDENT  // person, zip-code, "quoted ident"
+	NUMBER // 42, 4.5, -7
+	STRING // 'text'
+
+	// Punctuation.
+	LPAREN // (
+	RPAREN // )
+	COMMA  // ,
+	SEMI   // ;
+	DOT    // .
+	STAR   // *
+	EQ     // =
+	NEQ    // <> or !=
+	LT     // <
+	LTE    // <=
+	GT     // >
+	GTE    // >=
+	PLUS   // +
+	MINUS  // -
+	SLASH  // /
+	CONCAT // ||
+	PARAM  // ? or :name host variable
+
+	keywordStart
+	SELECT
+	DISTINCT
+	FROM
+	WHERE
+	AND
+	OR
+	NOT
+	IN
+	EXISTS
+	INTERSECT
+	UNION
+	JOIN
+	INNER
+	LEFT
+	OUTER
+	ON
+	AS
+	ORDER
+	GROUP
+	BY
+	HAVING
+	COUNT
+	CREATE
+	ALTER
+	ADD
+	FOREIGN
+	REFERENCES
+	CONSTRAINT
+	TABLE
+	INSERT
+	INTO
+	VALUES
+	UPDATE
+	SET
+	DELETE
+	NULL
+	UNIQUE
+	PRIMARY
+	KEY
+	NOTNULL // synthetic: produced by parser, not lexer
+	IS
+	BETWEEN
+	LIKE
+	TRUE
+	FALSE
+	keywordEnd
+)
+
+var names = map[Type]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", NUMBER: "NUMBER",
+	STRING: "STRING", LPAREN: "(", RPAREN: ")", COMMA: ",", SEMI: ";",
+	DOT: ".", STAR: "*", EQ: "=", NEQ: "<>", LT: "<", LTE: "<=", GT: ">",
+	GTE: ">=", PLUS: "+", MINUS: "-", SLASH: "/", CONCAT: "||", PARAM: "?",
+	SELECT: "SELECT", DISTINCT: "DISTINCT", FROM: "FROM", WHERE: "WHERE",
+	AND: "AND", OR: "OR", NOT: "NOT", IN: "IN", EXISTS: "EXISTS",
+	INTERSECT: "INTERSECT", UNION: "UNION", JOIN: "JOIN", INNER: "INNER",
+	LEFT: "LEFT", OUTER: "OUTER", ON: "ON", AS: "AS", ORDER: "ORDER",
+	GROUP: "GROUP", BY: "BY", HAVING: "HAVING", COUNT: "COUNT",
+	CREATE: "CREATE", ALTER: "ALTER", ADD: "ADD", FOREIGN: "FOREIGN",
+	REFERENCES: "REFERENCES", CONSTRAINT: "CONSTRAINT",
+	TABLE: "TABLE", INSERT: "INSERT", INTO: "INTO",
+	VALUES: "VALUES", UPDATE: "UPDATE", SET: "SET", DELETE: "DELETE",
+	NULL: "NULL", UNIQUE: "UNIQUE", PRIMARY: "PRIMARY", KEY: "KEY",
+	NOTNULL: "NOT NULL", IS: "IS", BETWEEN: "BETWEEN", LIKE: "LIKE",
+	TRUE: "TRUE", FALSE: "FALSE",
+}
+
+// String returns the display name of the token type.
+func (t Type) String() string {
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return "Type(?)"
+}
+
+// IsKeyword reports whether the type is a SQL keyword.
+func (t Type) IsKeyword() bool { return t > keywordStart && t < keywordEnd }
+
+var keywords = func() map[string]Type {
+	m := make(map[string]Type)
+	for t := keywordStart + 1; t < keywordEnd; t++ {
+		if t != NOTNULL {
+			m[names[t]] = t
+		}
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling onto its keyword type, or IDENT.
+func Lookup(ident string) Type {
+	if t, ok := keywords[strings.ToUpper(ident)]; ok {
+		return t
+	}
+	return IDENT
+}
+
+// Token is one lexical token with its position (byte offset and 1-based
+// line) in the input.
+type Token struct {
+	Type Type
+	Text string // raw text: identifier spelling, literal body, etc.
+	Pos  int
+	Line int
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Type {
+	case IDENT, NUMBER, STRING:
+		return t.Type.String() + "(" + t.Text + ")"
+	default:
+		return t.Type.String()
+	}
+}

@@ -1,0 +1,478 @@
+// Package table implements the in-memory storage engine: tables holding the
+// database extension E, tuple-level constraint enforcement, and the
+// counting, projection and equi-join primitives the elicitation algorithms
+// query ("select count distinct ..." in the paper's notation).
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbre/internal/relation"
+	"dbre/internal/value"
+)
+
+// Row is one tuple; Row[i] is the value of the i-th schema attribute.
+type Row []value.Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row { return append(Row{}, r...) }
+
+// Table is a mutable multiset of tuples conforming to a relation schema.
+type Table struct {
+	schema *relation.Schema
+	cols   map[string]int // attribute name → column index
+	rows   []Row
+	// uniq holds one hash index per declared UNIQUE constraint, used to
+	// enforce it on insert; uniqIdx caches the column indexes of each
+	// constraint so bulk loads avoid repeated name resolution.
+	uniq    []map[string]int
+	uniqIdx [][]int
+}
+
+// New creates an empty table for the given schema.
+func New(schema *relation.Schema) *Table {
+	t := &Table{
+		schema: schema,
+		cols:   make(map[string]int, len(schema.Attrs)),
+	}
+	for i, a := range schema.Attrs {
+		t.cols[a.Name] = i
+	}
+	for _, u := range schema.Uniques {
+		t.uniq = append(t.uniq, make(map[string]int))
+		idx := make([]int, 0, u.Len())
+		for _, name := range u.Names() {
+			idx = append(idx, t.cols[name])
+		}
+		t.uniqIdx = append(t.uniqIdx, idx)
+	}
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *relation.Schema { return t.schema }
+
+// Len reports the number of tuples.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Row returns the i-th tuple. The caller must not modify it.
+func (t *Table) Row(i int) Row { return t.rows[i] }
+
+// ColIndex returns the column index of the named attribute.
+func (t *Table) ColIndex(name string) (int, bool) {
+	i, ok := t.cols[name]
+	return i, ok
+}
+
+// colIndexes resolves attribute names to column indexes, erroring on
+// unknown names.
+func (t *Table) colIndexes(attrs []string) ([]int, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		c, ok := t.cols[a]
+		if !ok {
+			return nil, fmt.Errorf("table %s: unknown attribute %q", t.schema.Name, a)
+		}
+		idx[i] = c
+	}
+	return idx, nil
+}
+
+// keyOf builds the composite grouping key of a row over the given columns.
+// hasNull reports whether any of the participating values is NULL.
+func keyOf(row Row, idx []int) (key string, hasNull bool) {
+	var b strings.Builder
+	for _, c := range idx {
+		v := row[c]
+		if v.IsNull() {
+			hasNull = true
+		}
+		b.WriteString(v.Key())
+		b.WriteByte(0x1f)
+	}
+	return b.String(), hasNull
+}
+
+// Insert appends a tuple after checking arity, types, NOT NULL and UNIQUE
+// constraints. Type checking coerces where value.Coerce allows it.
+func (t *Table) Insert(row Row) error {
+	if len(row) != len(t.schema.Attrs) {
+		return fmt.Errorf("table %s: arity %d, want %d", t.schema.Name, len(row), len(t.schema.Attrs))
+	}
+	stored := make(Row, len(row))
+	for i, a := range t.schema.Attrs {
+		v := row[i]
+		if !v.IsNull() && v.Kind() != a.Type {
+			coerced, ok := value.Coerce(v, a.Type)
+			if !ok {
+				return fmt.Errorf("table %s: attribute %s: cannot store %v as %v",
+					t.schema.Name, a.Name, v.Kind(), a.Type)
+			}
+			v = coerced
+		}
+		if v.IsNull() && a.NotNull {
+			return fmt.Errorf("table %s: attribute %s is NOT NULL", t.schema.Name, a.Name)
+		}
+		stored[i] = v
+	}
+	for ui, idx := range t.uniqIdx {
+		key, hasNull := keyOf(stored, idx)
+		if hasNull {
+			// A UNIQUE declaration implies NOT NULL on its
+			// attributes (the paper's SQL convention).
+			return fmt.Errorf("table %s: NULL in key %v", t.schema.Name, t.schema.Uniques[ui])
+		}
+		if prev, dup := t.uniq[ui][key]; dup {
+			return fmt.Errorf("table %s: UNIQUE(%v) violated by row %d", t.schema.Name, t.schema.Uniques[ui], prev)
+		}
+		t.uniq[ui][key] = len(t.rows)
+	}
+	t.rows = append(t.rows, stored)
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for tests and generators.
+func (t *Table) MustInsert(row Row) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// InsertUnchecked appends a tuple without constraint enforcement. The
+// corruption injector uses it to plant integrity violations (the paper
+// explicitly copes with corrupted extensions).
+func (t *Table) InsertUnchecked(row Row) {
+	t.rows = append(t.rows, row.Clone())
+}
+
+// Project returns the values of the given attributes for every tuple, in
+// row order.
+func (t *Table) Project(attrs []string) ([][]value.Value, error) {
+	idx, err := t.colIndexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]value.Value, len(t.rows))
+	for i, row := range t.rows {
+		vals := make([]value.Value, len(idx))
+		for j, c := range idx {
+			vals[j] = row[c]
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+// DistinctCount implements the paper's ‖r[X]‖: the number of distinct
+// (NULL-free) value combinations over the given attributes, i.e. SQL
+// "select count(distinct X) from R". Tuples with a NULL in X are skipped,
+// matching COUNT(DISTINCT) semantics.
+func (t *Table) DistinctCount(attrs []string) (int, error) {
+	// Fast path for the overwhelmingly common case — a single integer
+	// attribute (keys and foreign keys) — avoiding string-key allocation.
+	if len(attrs) == 1 {
+		if set, ok := t.intSet(attrs[0]); ok {
+			return len(set), nil
+		}
+	}
+	set, err := t.DistinctSet(attrs)
+	if err != nil {
+		return 0, err
+	}
+	return len(set), nil
+}
+
+// intSet builds the distinct non-NULL int64 set of a single attribute; ok
+// is false when the attribute is unknown or holds non-integer values.
+func (t *Table) intSet(attr string) (map[int64]struct{}, bool) {
+	col, ok := t.cols[attr]
+	if !ok {
+		return nil, false
+	}
+	set := make(map[int64]struct{})
+	for _, row := range t.rows {
+		v := row[col]
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != value.KindInt {
+			return nil, false
+		}
+		set[v.Int()] = struct{}{}
+	}
+	return set, true
+}
+
+// DistinctSet returns the set of distinct NULL-free composite keys over the
+// given attributes, keyed canonically.
+func (t *Table) DistinctSet(attrs []string) (map[string]struct{}, error) {
+	idx, err := t.colIndexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]struct{})
+	for _, row := range t.rows {
+		key, hasNull := keyOf(row, idx)
+		if hasNull {
+			continue
+		}
+		set[key] = struct{}{}
+	}
+	return set, nil
+}
+
+// DistinctRows returns one representative projected row per distinct
+// NULL-free combination, sorted deterministically.
+func (t *Table) DistinctRows(attrs []string) ([][]value.Value, error) {
+	idx, err := t.colIndexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{})
+	var out [][]value.Value
+	for _, row := range t.rows {
+		key, hasNull := keyOf(row, idx)
+		if hasNull {
+			continue
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		vals := make([]value.Value, len(idx))
+		for j, c := range idx {
+			vals[j] = row[c]
+		}
+		out = append(out, vals)
+	}
+	sort.Slice(out, func(i, j int) bool { return compareRows(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+func compareRows(a, b []value.Value) int {
+	for i := range a {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// JoinDistinctCount implements ‖r_k[A_k] ⋈ r_l[A_l]‖: the number of
+// distinct value combinations shared by both projections — the size of the
+// intersection of the two distinct sets. This is exactly the N_kl quantity
+// of the IND-Discovery algorithm.
+func JoinDistinctCount(tk *Table, ak []string, tl *Table, al []string) (int, error) {
+	if len(ak) != len(al) {
+		return 0, fmt.Errorf("table: equi-join arity mismatch: %v vs %v", ak, al)
+	}
+	// Integer fast path mirroring DistinctCount's.
+	if len(ak) == 1 {
+		if ski, ok := tk.intSet(ak[0]); ok {
+			if sli, ok := tl.intSet(al[0]); ok {
+				if len(sli) < len(ski) {
+					ski, sli = sli, ski
+				}
+				n := 0
+				for v := range ski {
+					if _, shared := sli[v]; shared {
+						n++
+					}
+				}
+				return n, nil
+			}
+		}
+	}
+	sk, err := tk.DistinctSet(ak)
+	if err != nil {
+		return 0, err
+	}
+	sl, err := tl.DistinctSet(al)
+	if err != nil {
+		return 0, err
+	}
+	if len(sl) < len(sk) {
+		sk, sl = sl, sk
+	}
+	n := 0
+	for key := range sk {
+		if _, ok := sl[key]; ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ContainedIn reports whether the distinct projection of t over attrs is a
+// subset of the distinct projection of other over otherAttrs, i.e. whether
+// the inclusion dependency t[attrs] ≪ other[otherAttrs] is satisfied by the
+// extension. Counterexample returns one violating combination when not.
+func ContainedIn(t *Table, attrs []string, other *Table, otherAttrs []string) (bool, error) {
+	if len(attrs) != len(otherAttrs) {
+		return false, fmt.Errorf("table: inclusion arity mismatch: %v vs %v", attrs, otherAttrs)
+	}
+	left, err := t.DistinctSet(attrs)
+	if err != nil {
+		return false, err
+	}
+	right, err := other.DistinctSet(otherAttrs)
+	if err != nil {
+		return false, err
+	}
+	for key := range left {
+		if _, ok := right[key]; !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EquiJoinRows materializes the equi-join of two tables on the given
+// attribute lists and returns pairs of row indexes (hash join). It exists
+// for the SQL executor and for tests; the elicitation algorithms only need
+// the distinct counts.
+func EquiJoinRows(tk *Table, ak []string, tl *Table, al []string) ([][2]int, error) {
+	if len(ak) != len(al) {
+		return nil, fmt.Errorf("table: equi-join arity mismatch: %v vs %v", ak, al)
+	}
+	idxK, err := tk.colIndexes(ak)
+	if err != nil {
+		return nil, err
+	}
+	idxL, err := tl.colIndexes(al)
+	if err != nil {
+		return nil, err
+	}
+	build := make(map[string][]int)
+	for i, row := range tl.rows {
+		key, hasNull := keyOf(row, idxL)
+		if hasNull {
+			continue
+		}
+		build[key] = append(build[key], i)
+	}
+	var out [][2]int
+	for i, row := range tk.rows {
+		key, hasNull := keyOf(row, idxK)
+		if hasNull {
+			continue
+		}
+		for _, j := range build[key] {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out, nil
+}
+
+// Filter returns the indexes of rows for which pred is true.
+func (t *Table) Filter(pred func(Row) bool) []int {
+	var out []int
+	for i, row := range t.rows {
+		if pred(row) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SortedRows returns all rows sorted by the full tuple order; it does not
+// modify the table. Used for deterministic rendering.
+func (t *Table) SortedRows() []Row {
+	out := make([]Row, len(t.rows))
+	copy(out, t.rows)
+	sort.Slice(out, func(i, j int) bool { return compareRows(out[i], out[j]) < 0 })
+	return out
+}
+
+// CheckUnique verifies a UNIQUE constraint over the current extension and
+// returns the indexes of the first offending pair, if any. It is used to
+// audit corrupted extensions.
+func (t *Table) CheckUnique(u relation.AttrSet) (ok bool, rowA, rowB int, err error) {
+	idx, err := t.colIndexes(u.Names())
+	if err != nil {
+		return false, 0, 0, err
+	}
+	seen := make(map[string]int, len(t.rows))
+	for i, row := range t.rows {
+		key, hasNull := keyOf(row, idx)
+		if hasNull {
+			continue
+		}
+		if prev, dup := seen[key]; dup {
+			return false, prev, i, nil
+		}
+		seen[key] = i
+	}
+	return true, 0, 0, nil
+}
+
+// Database binds a catalog to its extension: one table per relation. It is
+// the (R, E, ∅) triple the method takes as input.
+type Database struct {
+	catalog *relation.Catalog
+	tables  map[string]*Table
+}
+
+// NewDatabase creates a database with an empty table per catalog relation.
+func NewDatabase(catalog *relation.Catalog) *Database {
+	db := &Database{catalog: catalog, tables: make(map[string]*Table, catalog.Len())}
+	for _, s := range catalog.Schemas() {
+		db.tables[s.Name] = New(s)
+	}
+	return db
+}
+
+// Catalog returns the database's catalog.
+func (db *Database) Catalog() *relation.Catalog { return db.catalog }
+
+// Table returns the extension of the named relation.
+func (db *Database) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// MustTable is Table that panics when the relation is unknown.
+func (db *Database) MustTable(name string) *Table {
+	t, ok := db.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("table: unknown relation %q", name))
+	}
+	return t
+}
+
+// AddRelation registers a new (empty) relation created during the method
+// (the set S of Section 6.1).
+func (db *Database) AddRelation(s *relation.Schema) error {
+	if err := db.catalog.Add(s); err != nil {
+		return err
+	}
+	db.tables[s.Name] = New(s)
+	return nil
+}
+
+// ReplaceRelation swaps the schema registered under s.Name (keeping its
+// catalog position) and installs a fresh empty table. The previous table is
+// returned so callers can migrate its data — the Restruct algorithm uses
+// this when splitting attributes out of a relation.
+func (db *Database) ReplaceRelation(s *relation.Schema) (*Table, error) {
+	old, ok := db.tables[s.Name]
+	if !ok {
+		return nil, fmt.Errorf("table: cannot replace unknown relation %q", s.Name)
+	}
+	if err := db.catalog.Replace(s); err != nil {
+		return nil, err
+	}
+	db.tables[s.Name] = New(s)
+	return old, nil
+}
+
+// TotalRows reports the number of tuples across all relations.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, t := range db.tables {
+		n += t.Len()
+	}
+	return n
+}
