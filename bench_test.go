@@ -17,6 +17,7 @@ import (
 	"dbre/internal/ind"
 	"dbre/internal/paperex"
 	"dbre/internal/relation"
+	"dbre/internal/stats"
 	"dbre/internal/table"
 	"dbre/internal/value"
 	"dbre/internal/workload"
@@ -289,4 +290,68 @@ func BenchmarkINDParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkINDDiscovery compares the uncached reference IND-Discovery with
+// the statistics-cache variant, serial and with a worker pool, on a large
+// extension. The cache is rebuilt each iteration, so the speedup measures
+// what one pipeline run gains from shared projections (every relation
+// projection serves all joins touching it), not warm-cache hits.
+func BenchmarkINDDiscovery(b *testing.B) {
+	w := genWorkload(b, 100000, 6, 8)
+	q, _ := ScanPrograms(w.DB, w.Programs)
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ind.Discover(w.DB, q, expert.Deny{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ind.DiscoverOpts(w.DB, q, expert.Deny{}, ind.Opts{Stats: stats.NewCache(w.DB)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ind.DiscoverOpts(w.DB, q, expert.Deny{}, ind.Opts{Stats: stats.NewCache(w.DB), Workers: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRHSDiscovery is the same comparison for RHS-Discovery: the
+// cached variant builds each candidate's left-hand-side projection once
+// and reuses it for every right-hand-side probe; the parallel variant
+// additionally fans the independent A → b checks over the worker pool.
+func BenchmarkRHSDiscovery(b *testing.B) {
+	w := genWorkload(b, 100000, 6, 8)
+	var lhs []relation.Ref
+	for _, l := range w.Truth.Links {
+		lhs = append(lhs, relation.NewRef(l.Fact, l.FK))
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fd.DiscoverRHS(w.DB, lhs, nil, expert.Deny{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fd.DiscoverRHSOpts(w.DB, lhs, nil, expert.Deny{}, fd.Opts{Stats: stats.NewCache(w.DB)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fd.DiscoverRHSOpts(w.DB, lhs, nil, expert.Deny{}, fd.Opts{Stats: stats.NewCache(w.DB), Workers: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

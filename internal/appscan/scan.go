@@ -110,18 +110,14 @@ func ScanSource(name, content string, rep *Report) []Snippet {
 	var candidates []candidate
 	switch lang {
 	case LangSQL:
-		for _, piece := range parser.SplitStatements(content) {
-			candidates = append(candidates, candidate{text: piece, line: lineOf(content, piece)})
-		}
+		candidates = sqlStatements(content)
 	case LangCOBOL:
 		candidates = execSQLBlocks(content, true)
 	case LangC:
 		candidates = append(execSQLBlocks(content, false), cStringLiterals(content)...)
 	default:
 		// Try everything; duplicates are deduplicated downstream by Q.
-		for _, piece := range parser.SplitStatements(content) {
-			candidates = append(candidates, candidate{text: piece, line: lineOf(content, piece)})
-		}
+		candidates = sqlStatements(content)
 		candidates = append(candidates, execSQLBlocks(content, false)...)
 		candidates = append(candidates, cStringLiterals(content)...)
 	}
@@ -193,13 +189,47 @@ type candidate struct {
 	line int
 }
 
-// lineOf finds the 1-based line on which piece starts inside content.
-func lineOf(content, piece string) int {
-	idx := strings.Index(content, piece)
-	if idx < 0 {
-		return 1
+// lineTracker resolves 1-based line numbers for monotonically increasing
+// byte offsets in one pass. Extractors visit candidate positions in source
+// order; recounting the newlines of the whole prefix per candidate made
+// scanning quadratic in the file size (a fuzzing find on literal-heavy C
+// sources).
+type lineTracker struct {
+	content  string
+	pos      int
+	newlines int
+}
+
+func (lt *lineTracker) lineAt(off int) int {
+	if off > len(lt.content) {
+		off = len(lt.content)
 	}
-	return 1 + strings.Count(content[:idx], "\n")
+	if off < lt.pos {
+		// Non-monotone caller; correctness over speed.
+		return 1 + strings.Count(lt.content[:off], "\n")
+	}
+	lt.newlines += strings.Count(lt.content[lt.pos:off], "\n")
+	lt.pos = off
+	return 1 + lt.newlines
+}
+
+// sqlStatements splits a plain SQL source and locates each statement,
+// advancing a single search cursor through the content (the pieces come
+// back in source order).
+func sqlStatements(content string) []candidate {
+	lt := &lineTracker{content: content}
+	from := 0
+	var out []candidate
+	for _, piece := range parser.SplitStatements(content) {
+		line := 1
+		if idx := strings.Index(content[from:], piece); idx >= 0 {
+			idx += from
+			line = lt.lineAt(idx)
+			from = idx + len(piece)
+		}
+		out = append(out, candidate{text: piece, line: line})
+	}
+	return out
 }
 
 // stripCursorDecl unwraps `DECLARE <name> CURSOR FOR <select>`, the usual
@@ -255,7 +285,12 @@ func execSQLBlocks(content string, cobol bool) []candidate {
 	if cobol {
 		content = stripCOBOLColumns(content)
 	}
-	upper := strings.ToUpper(content)
+	// ASCII-only uppercasing: strings.ToUpper rewrites invalid UTF-8 to
+	// the 3-byte U+FFFD, so its output can be longer than the input and
+	// offsets found in it would overrun content (a fuzzing find). The
+	// markers searched for are pure ASCII.
+	upper := upperASCII(content)
+	lt := &lineTracker{content: content}
 	var out []candidate
 	pos := 0
 	for {
@@ -283,10 +318,29 @@ func execSQLBlocks(content string, cobol bool) []candidate {
 		}
 		body := strings.TrimSpace(content[bodyStart:bodyEnd])
 		if body != "" {
-			out = append(out, candidate{text: body, line: 1 + strings.Count(content[:start], "\n")})
+			out = append(out, candidate{text: body, line: lt.lineAt(start)})
 		}
 		pos = next
 	}
+}
+
+// upperASCII uppercases the ASCII letters of s, leaving every other byte —
+// including invalid UTF-8 — untouched, so len(upperASCII(s)) == len(s) and
+// byte offsets carry over.
+func upperASCII(s string) string {
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'a' <= c && c <= 'z' {
+			if b == nil {
+				b = []byte(s)
+			}
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	if b == nil {
+		return s
+	}
+	return string(b)
 }
 
 // stripCOBOLColumns removes the sequence area (cols 1-6), drops comment
@@ -331,6 +385,7 @@ func isSeqArea(s string) bool {
 // those that look like SQL.
 func cStringLiterals(content string) []candidate {
 	var out []candidate
+	lt := &lineTracker{content: content}
 	i := 0
 	n := len(content)
 	for i < n {
@@ -357,10 +412,14 @@ func cStringLiterals(content string) []candidate {
 			}
 			i++
 		case c == '"':
-			startLine := 1 + strings.Count(content[:i], "\n")
+			startLine := lt.lineAt(i)
 			text, rest := readCString(content[i:])
 			i += rest
 			// Adjacent literal concatenation: "SELECT " \n "a FROM t".
+			// Built through a Builder: += per fragment was quadratic on
+			// literal-heavy sources (a fuzzing find).
+			var joined strings.Builder
+			joined.WriteString(text)
 			for {
 				j := i
 				for j < n && (content[j] == ' ' || content[j] == '\t' || content[j] == '\n' || content[j] == '\r' || content[j] == '\\') {
@@ -368,13 +427,13 @@ func cStringLiterals(content string) []candidate {
 				}
 				if j < n && content[j] == '"' {
 					more, rest2 := readCString(content[j:])
-					text += more
+					joined.WriteString(more)
 					i = j + rest2
 					continue
 				}
 				break
 			}
-			out = append(out, candidate{text: text, line: startLine})
+			out = append(out, candidate{text: joined.String(), line: startLine})
 		default:
 			i++
 		}

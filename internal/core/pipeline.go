@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"dbre/internal/appscan"
@@ -21,6 +22,7 @@ import (
 	"dbre/internal/ind"
 	"dbre/internal/relation"
 	"dbre/internal/restruct"
+	"dbre/internal/stats"
 	"dbre/internal/table"
 )
 
@@ -37,9 +39,18 @@ type Options struct {
 	// dictionaries the paper motivates with ("old versions of DBMSs do
 	// not support such declarations").
 	InferKeys bool
-	// Parallelism fans the IND-Discovery counting phase over this many
-	// workers (0 = serial). Results are identical to the serial run.
+	// Parallelism fans the counting phases — IND-Discovery's join counts
+	// and RHS-Discovery's A → b checks — over this many workers (0 =
+	// serial). Results are identical to the serial run.
 	Parallelism int
+	// NoStatsCache disables the per-database column-statistics cache and
+	// runs the uncached reference implementations of every counting
+	// phase. The differential harness compares both modes.
+	NoStatsCache bool
+	// Stats supplies a caller-owned cache (must wrap the same database)
+	// so tests can audit hit/miss metrics after a run; nil and not
+	// NoStatsCache, the pipeline builds its own.
+	Stats *stats.Cache
 }
 
 // DefaultOptions mirrors the paper's setting with an automatic expert.
@@ -71,8 +82,22 @@ type Report struct {
 	ThreeNFViolations []string
 	// EER is the translated conceptual schema (nil with SkipTranslate).
 	EER *eer.Schema
-	// Timings records the wall-clock duration of each phase.
+	// Timings records the wall-clock duration of each phase. Writers must
+	// go through RecordTiming, which guards the map for concurrent use;
+	// reading the field directly is safe once the run has returned.
 	Timings map[string]time.Duration
+
+	timingsMu sync.Mutex
+}
+
+// RecordTiming stores one phase duration, safely under concurrency.
+func (r *Report) RecordTiming(phase string, d time.Duration) {
+	r.timingsMu.Lock()
+	defer r.timingsMu.Unlock()
+	if r.Timings == nil {
+		r.Timings = make(map[string]time.Duration)
+	}
+	r.Timings[phase] = d
 }
 
 // Run executes the pipeline over a database in operation and its
@@ -95,7 +120,7 @@ func Run(db *table.Database, programs map[string]string, opts Options) (*Report,
 	ex := appscan.NewExtractor(db.Catalog())
 	ex.TransitiveClosure = opts.TransitiveClosure
 	q := ex.ExtractQ(snippets)
-	rep.Timings["scan"] = time.Since(start)
+	rep.RecordTiming("scan", time.Since(start))
 	return RunWithQ(db, q, opts, rep)
 }
 
@@ -111,11 +136,21 @@ func RunWithQ(db *table.Database, q *deps.JoinSet, opts Options, rep *Report) (*
 	}
 	rep.Q = q
 
+	// The column-statistics cache shared by every counting phase below.
+	// A caller-supplied cache wins (tests audit its metrics afterwards);
+	// NoStatsCache selects the uncached reference implementations.
+	cache := opts.Stats
+	if cache == nil && !opts.NoStatsCache {
+		cache = stats.NewCache(db)
+	}
+
 	// Phase 0: constraint sets from the dictionary, inferring missing
 	// keys from the data first when asked to.
 	start := time.Now()
 	if opts.InferKeys {
-		inferred, err := fd.InferMissingKeys(db, fd.DefaultKeyInferenceOptions())
+		kopts := fd.DefaultKeyInferenceOptions()
+		kopts.Stats = cache
+		inferred, err := fd.InferMissingKeys(db, kopts)
 		if err != nil {
 			return rep, fmt.Errorf("core: key inference: %w", err)
 		}
@@ -123,22 +158,22 @@ func RunWithQ(db *table.Database, q *deps.JoinSet, opts Options, rep *Report) (*
 	}
 	rep.K = db.Catalog().Keys()
 	rep.N = db.Catalog().NotNulls()
-	rep.Timings["constraints"] = time.Since(start)
+	rep.RecordTiming("constraints", time.Since(start))
 
 	// Phase 2: IND-Discovery.
 	start = time.Now()
 	var indRes *ind.Result
 	var err error
-	if opts.Parallelism > 1 {
-		indRes, err = ind.DiscoverParallel(db, q, opts.Oracle, opts.Parallelism)
-	} else {
+	if cache == nil && opts.Parallelism <= 1 {
 		indRes, err = ind.Discover(db, q, opts.Oracle)
+	} else {
+		indRes, err = ind.DiscoverOpts(db, q, opts.Oracle, ind.Opts{Stats: cache, Workers: opts.Parallelism})
 	}
 	if err != nil {
 		return rep, fmt.Errorf("core: IND-Discovery: %w", err)
 	}
 	rep.IND = indRes
-	rep.Timings["ind-discovery"] = time.Since(start)
+	rep.RecordTiming("ind-discovery", time.Since(start))
 
 	// Phase 3: LHS-Discovery.
 	start = time.Now()
@@ -151,16 +186,23 @@ func RunWithQ(db *table.Database, q *deps.JoinSet, opts Options, rep *Report) (*
 		return rep, fmt.Errorf("core: LHS-Discovery: %w", err)
 	}
 	rep.LHS = lhsRes
-	rep.Timings["lhs-discovery"] = time.Since(start)
+	rep.RecordTiming("lhs-discovery", time.Since(start))
 
-	// Phase 4: RHS-Discovery.
+	// Phase 4: RHS-Discovery. IND-Discovery's NEI conceptualization may
+	// have added relations; the cache revalidates per lookup, so no
+	// explicit invalidation is needed here.
 	start = time.Now()
-	rhsRes, err := fd.DiscoverRHS(db, lhsRes.LHS, lhsRes.Hidden, opts.Oracle)
+	var rhsRes *fd.Result
+	if cache == nil && opts.Parallelism <= 1 {
+		rhsRes, err = fd.DiscoverRHS(db, lhsRes.LHS, lhsRes.Hidden, opts.Oracle)
+	} else {
+		rhsRes, err = fd.DiscoverRHSOpts(db, lhsRes.LHS, lhsRes.Hidden, opts.Oracle, fd.Opts{Stats: cache, Workers: opts.Parallelism})
+	}
 	if err != nil {
 		return rep, fmt.Errorf("core: RHS-Discovery: %w", err)
 	}
 	rep.RHS = rhsRes
-	rep.Timings["rhs-discovery"] = time.Since(start)
+	rep.RecordTiming("rhs-discovery", time.Since(start))
 
 	// Phase 5: Restruct.
 	start = time.Now()
@@ -169,11 +211,19 @@ func RunWithQ(db *table.Database, q *deps.JoinSet, opts Options, rep *Report) (*
 		return rep, fmt.Errorf("core: Restruct: %w", err)
 	}
 	rep.Restruct = resRes
+	// Restruct splits relations and migrates data; statistics gathered on
+	// the pre-split extension are now stale. Stale entries would be
+	// detected lazily anyway (the (pointer, version) check), but dropping
+	// them eagerly releases the memory of projections that will never be
+	// consulted again.
+	if cache != nil {
+		cache.InvalidateAll()
+	}
 	// Postcondition: the restructured catalog must be in 3NF with respect
 	// to the elicited dependencies. Violations indicate expert-forced
 	// dependencies that conflict; they are reported, not fatal.
 	rep.ThreeNFViolations = restruct.Verify3NF(db.Catalog(), resRes.MappedFDs)
-	rep.Timings["restruct"] = time.Since(start)
+	rep.RecordTiming("restruct", time.Since(start))
 
 	// Phase 6: Translate, then annotate cardinalities and participation
 	// from the migrated extension.
@@ -187,7 +237,7 @@ func RunWithQ(db *table.Database, q *deps.JoinSet, opts Options, rep *Report) (*
 			return rep, fmt.Errorf("core: annotating EER schema: %w", err)
 		}
 		rep.EER = schema
-		rep.Timings["translate"] = time.Since(start)
+		rep.RecordTiming("translate", time.Since(start))
 	}
 	return rep, nil
 }
@@ -274,6 +324,7 @@ func (r *Report) Text() string {
 		b.WriteString(r.EER.Text())
 	}
 	section("Timings")
+	r.timingsMu.Lock()
 	var phases []string
 	for p := range r.Timings {
 		phases = append(phases, p)
@@ -282,5 +333,6 @@ func (r *Report) Text() string {
 	for _, p := range phases {
 		fmt.Fprintf(&b, "  %-14s %v\n", p, r.Timings[p])
 	}
+	r.timingsMu.Unlock()
 	return b.String()
 }

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReportTimingsConcurrent is the -race regression for the Timings map:
+// a monitor rendering a report while phases are still being timed (or two
+// phases recorded from different goroutines) used to race on the bare map
+// writes. All access now funnels through RecordTiming and a lock in Text.
+func TestReportTimingsConcurrent(t *testing.T) {
+	rep := &Report{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rep.RecordTiming(fmt.Sprintf("phase-%d-%d", w, i%10), time.Duration(i))
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if !strings.Contains(rep.Text(), "Timings") {
+					t.Error("report lost its Timings section")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(rep.Timings) != 40 {
+		t.Errorf("Timings has %d entries, want 40", len(rep.Timings))
+	}
+}

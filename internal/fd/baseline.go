@@ -5,6 +5,7 @@ import (
 
 	"dbre/internal/deps"
 	"dbre/internal/relation"
+	"dbre/internal/stats"
 	"dbre/internal/table"
 )
 
@@ -15,6 +16,10 @@ type BaselineOptions struct {
 	// SkipKeys removes declared key attributes from left-hand-side
 	// candidates: their dependencies are already known from K.
 	SkipKeys bool
+	// Workers fans DiscoverBaselineAll over a bounded worker pool, one
+	// task per relation; ≤ 1 runs serially. Per-relation results are
+	// aggregated in catalog order, so the output is identical.
+	Workers int
 }
 
 // DefaultBaselineOptions searches up to two-attribute left-hand sides.
@@ -159,13 +164,20 @@ func combos(n, k int, fn func([]int) error) error {
 }
 
 // DiscoverBaselineAll runs the exhaustive discovery over every relation of
-// the database and aggregates the counters.
+// the database and aggregates the counters. Relations are independent, so
+// with opts.Workers > 1 they run on the shared worker kernel; aggregation
+// stays in catalog order either way.
 func DiscoverBaselineAll(db *table.Database, opts BaselineOptions) (*BaselineResult, error) {
+	names := db.Catalog().Names()
+	results := make([]*BaselineResult, len(names))
+	errs := make([]error, len(names))
+	stats.ForEach(len(names), opts.Workers, func(i int) {
+		results[i], errs[i] = DiscoverBaseline(db.MustTable(names[i]), opts)
+	})
 	agg := &BaselineResult{}
-	for _, name := range db.Catalog().Names() {
-		r, err := DiscoverBaseline(db.MustTable(name), opts)
-		if err != nil {
-			return nil, err
+	for i, r := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		agg.FDs = append(agg.FDs, r.FDs...)
 		agg.CandidatesTested += r.CandidatesTested

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"dbre/internal/expert"
+	"dbre/internal/stats"
 	"dbre/internal/table"
 )
 
@@ -66,6 +67,57 @@ func Check(tab *table.Table, lhs []string, rhs string) (expert.FDSupport, error)
 			}
 		}
 		violations += total - max
+	}
+	return expert.FDSupport{Rows: rows, Violations: violations}, nil
+}
+
+// CheckStats is Check through the shared column-statistics cache: the
+// lhs projection is built (or reused) once and serves every
+// right-hand-side candidate tested against the same left-hand side —
+// exactly RHS-Discovery's access pattern, which probes one A against
+// every surviving b — and the rhs column's own projection turns the
+// per-group majority count into pure group-id arithmetic, with no
+// per-row key construction at all. Supports are identical to Check's:
+// the groups are the same groups, the majority count the same count.
+func CheckStats(cache *stats.Cache, rel string, lhs []string, rhs string) (expert.FDSupport, error) {
+	groups, err := cache.GroupSlices(rel, lhs)
+	if err != nil {
+		return expert.FDSupport{}, err
+	}
+	rg, nRHS, err := cache.RowGroups(rel, []string{rhs})
+	if err != nil {
+		return expert.FDSupport{}, err
+	}
+	// counts is indexed by rhs group id; the extra slot collects NULL
+	// right-hand sides, which Check treats as one regular value.
+	counts := make([]int32, nRHS+1)
+	touched := make([]int32, 0, 16)
+	rows, violations := 0, 0
+	for _, g := range groups {
+		rows += len(g)
+		if len(g) == 1 {
+			continue // a singleton group cannot violate
+		}
+		max := int32(0)
+		for _, i := range g {
+			rid := rg[i]
+			if rid < 0 {
+				rid = int32(nRHS)
+			}
+			n := counts[rid] + 1
+			counts[rid] = n
+			if n == 1 {
+				touched = append(touched, rid)
+			}
+			if n > max {
+				max = n
+			}
+		}
+		violations += len(g) - int(max)
+		for _, rid := range touched {
+			counts[rid] = 0
+		}
+		touched = touched[:0]
 	}
 	return expert.FDSupport{Rows: rows, Violations: violations}, nil
 }

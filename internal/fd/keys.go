@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dbre/internal/relation"
+	"dbre/internal/stats"
 	"dbre/internal/table"
 )
 
@@ -14,6 +15,11 @@ type KeyInferenceOptions struct {
 	// RequireNotNull restricts key candidates to columns without NULLs
 	// (a data-supported key with NULLs cannot be declared UNIQUE anyway).
 	RequireNotNull bool
+	// Stats routes the distinct counts and NULL scans through the shared
+	// column-statistics cache. It is consulted only for tables it can
+	// resolve (the level-wise search re-counts many overlapping attribute
+	// sets, so the reuse is substantial); nil scans directly.
+	Stats *stats.Cache
 }
 
 // DefaultKeyInferenceOptions searches keys of up to three attributes over
@@ -37,9 +43,24 @@ func InferKeys(tab *table.Table, opts KeyInferenceOptions) ([]relation.AttrSet, 
 		opts.MaxSize = 1
 	}
 	schema := tab.Schema()
+	// The cache keys statistics by relation name; consult it only when
+	// that name resolves to this very table.
+	cache := opts.Stats
+	if cache != nil && cache.TableFor(schema.Name) != tab {
+		cache = nil
+	}
+	hasNull := func(name string) bool {
+		if cache != nil {
+			nonNull, err := cache.NonNullRows(schema.Name, []string{name})
+			if err == nil {
+				return nonNull < tab.Len()
+			}
+		}
+		return columnHasNull(tab, name)
+	}
 	var attrs []string
 	for _, a := range schema.Attrs {
-		if opts.RequireNotNull && columnHasNull(tab, a.Name) {
+		if opts.RequireNotNull && hasNull(a.Name) {
 			continue
 		}
 		attrs = append(attrs, a.Name)
@@ -75,13 +96,26 @@ func InferKeys(tab *table.Table, opts KeyInferenceOptions) ([]relation.AttrSet, 
 			}
 			// Unique iff the distinct count over NULL-free rows equals
 			// the number of NULL-free rows.
-			distinct, err := tab.DistinctCount(names)
+			var distinct int
+			var err error
+			if cache != nil {
+				distinct, err = cache.DistinctCount(schema.Name, names)
+			} else {
+				distinct, err = tab.DistinctCount(names)
+			}
 			if err != nil {
 				return nil, err
 			}
 			rows := n
 			if !opts.RequireNotNull {
-				rows = countNonNullRows(tab, names)
+				if cache != nil {
+					rows, err = cache.NonNullRows(schema.Name, names)
+					if err != nil {
+						return nil, err
+					}
+				} else {
+					rows = countNonNullRows(tab, names)
+				}
 			}
 			if distinct == rows && rows > 0 {
 				keys = append(keys, x)

@@ -6,8 +6,21 @@ import (
 	"dbre/internal/deps"
 	"dbre/internal/expert"
 	"dbre/internal/relation"
+	"dbre/internal/stats"
 	"dbre/internal/table"
 )
+
+// Opts configures the extension-checking phase of RHS-Discovery. The
+// zero value reproduces the reference algorithm: direct scans, serial.
+type Opts struct {
+	// Stats routes the A → b checks through the shared column-statistics
+	// cache, so the hashed projection index on each candidate left-hand
+	// side is built once and reused by every right-hand-side probe.
+	Stats *stats.Cache
+	// Workers fans the checks over a bounded worker pool; ≤ 1 checks
+	// serially, < 0 selects GOMAXPROCS.
+	Workers int
+}
 
 // CandidateTrace records how one element of LHS ∪ H was processed by
 // RHS-Discovery.
@@ -45,47 +58,129 @@ type Result struct {
 // candidate left-hand sides LHS and the hidden-object seeds H produced by
 // LHS-Discovery, and the expert. Candidates are processed in canonical
 // order so runs are deterministic.
+//
+// DiscoverRHS is the uncached, serial reference implementation; the
+// differential harness compares DiscoverRHSOpts against it.
 func DiscoverRHS(db *table.Database, lhs, hidden []relation.Ref, oracle expert.Oracle) (*Result, error) {
-	if oracle == nil {
-		oracle = expert.NewAuto()
+	plan, err := planRHS(db, lhs, hidden)
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{}
+	lookup := func(cand relation.Ref, b string) (expert.FDSupport, error) {
+		return Check(db.MustTable(cand.Rel), cand.Attrs.Names(), b)
+	}
+	return decideRHS(db, plan, oracle, lookup)
+}
 
-	inHidden := make(map[string]bool, len(hidden))
-	for _, h := range hidden {
-		inHidden[h.Key()] = true
+// DiscoverRHSOpts runs RHS-Discovery with the A → b extension checks
+// precomputed through the statistics cache and/or a worker pool. The
+// checks are pure reads and independent of every expert decision, so
+// hoisting them ahead of the sequential decision loop preserves the
+// algorithm's outcomes, traces, counters and the exact order of expert
+// consultations.
+func DiscoverRHSOpts(db *table.Database, lhs, hidden []relation.Ref, oracle expert.Oracle, o Opts) (*Result, error) {
+	plan, err := planRHS(db, lhs, hidden)
+	if err != nil {
+		return nil, err
 	}
-	// LHS ∪ H, deduplicated, in canonical order.
-	seen := make(map[string]bool)
-	var candidates []relation.Ref
-	for _, r := range append(append([]relation.Ref{}, lhs...), hidden...) {
-		if !seen[r.Key()] {
-			seen[r.Key()] = true
-			candidates = append(candidates, r)
+	type chk struct {
+		cand int
+		attr string
+	}
+	var checks []chk
+	for i := range plan.candidates {
+		for _, b := range plan.pruned[i].Names() {
+			checks = append(checks, chk{i, b})
 		}
 	}
-	relation.SortRefs(candidates)
+	supports := make(map[[2]string]expert.FDSupport, len(checks))
+	keyOf := func(c chk) [2]string {
+		return [2]string{plan.candidates[c.cand].Key(), c.attr}
+	}
+	results := make([]expert.FDSupport, len(checks))
+	errs := make([]error, len(checks))
+	stats.ForEach(len(checks), o.Workers, func(i int) {
+		cand := plan.candidates[checks[i].cand]
+		if o.Stats != nil {
+			results[i], errs[i] = CheckStats(o.Stats, cand.Rel, cand.Attrs.Names(), checks[i].attr)
+			return
+		}
+		results[i], errs[i] = Check(db.MustTable(cand.Rel), cand.Attrs.Names(), checks[i].attr)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		supports[keyOf(checks[i])] = results[i]
+	}
+	lookup := func(cand relation.Ref, b string) (expert.FDSupport, error) {
+		return supports[[2]string{cand.Key(), b}], nil
+	}
+	return decideRHS(db, plan, oracle, lookup)
+}
 
-	// N restricted per relation is recomputed from the catalog.
-	for _, cand := range candidates {
+// rhsPlan is the deterministic candidate schedule both variants share.
+type rhsPlan struct {
+	candidates []relation.Ref
+	pruned     []relation.AttrSet // T per candidate
+	seen       map[string]bool
+	inHidden   map[string]bool
+	hidden     []relation.Ref
+}
+
+// planRHS enumerates LHS ∪ H in canonical order and computes each
+// candidate's pruned right-hand-side set T from the catalog. It reads
+// only schema metadata, so it can run ahead of any extension check.
+func planRHS(db *table.Database, lhs, hidden []relation.Ref) (*rhsPlan, error) {
+	plan := &rhsPlan{
+		seen:     make(map[string]bool),
+		inHidden: make(map[string]bool, len(hidden)),
+		hidden:   hidden,
+	}
+	for _, h := range hidden {
+		plan.inHidden[h.Key()] = true
+	}
+	// LHS ∪ H, deduplicated, in canonical order.
+	for _, r := range append(append([]relation.Ref{}, lhs...), hidden...) {
+		if !plan.seen[r.Key()] {
+			plan.seen[r.Key()] = true
+			plan.candidates = append(plan.candidates, r)
+		}
+	}
+	relation.SortRefs(plan.candidates)
+	for _, cand := range plan.candidates {
 		schema, ok := db.Catalog().Get(cand.Rel)
 		if !ok {
 			return nil, fmt.Errorf("fd: unknown relation %q", cand.Rel)
 		}
-		tab := db.MustTable(cand.Rel)
 		key, _ := schema.PrimaryKey()
 		notNull := schema.NotNullSet()
-
 		// T = X_i - A - K_i; if A ∉ N, also remove N ∩ X_i.
 		t := schema.AttrSet().Minus(cand.Attrs).Minus(key)
 		if !notNull.ContainsAll(cand.Attrs) {
 			t = t.Minus(notNull)
 		}
+		plan.pruned = append(plan.pruned, t)
+	}
+	return plan, nil
+}
 
+// decideRHS replays the algorithm's decision branches over the planned
+// candidates, obtaining each A → b support from lookup (a direct scan in
+// the reference, a precomputed table in the cached/parallel variant).
+func decideRHS(db *table.Database, plan *rhsPlan, oracle expert.Oracle, lookup func(relation.Ref, string) (expert.FDSupport, error)) (*Result, error) {
+	if oracle == nil {
+		oracle = expert.NewAuto()
+	}
+	res := &Result{}
+	inHidden := plan.inHidden
+	for ci, cand := range plan.candidates {
+		tab := db.MustTable(cand.Rel)
+		t := plan.pruned[ci]
 		trace := CandidateTrace{Candidate: cand, Pruned: t}
 		var accepted relation.AttrSet
 		for _, b := range t.Names() {
-			support, err := Check(tab, cand.Attrs.Names(), b)
+			support, err := lookup(cand, b)
 			if err != nil {
 				return nil, err
 			}
@@ -130,15 +225,15 @@ func DiscoverRHS(db *table.Database, lhs, hidden []relation.Ref, oracle expert.O
 	}
 
 	// Materialize the final H in canonical order.
-	for _, cand := range candidates {
+	for _, cand := range plan.candidates {
 		if inHidden[cand.Key()] {
 			res.Hidden = append(res.Hidden, cand)
 		}
 	}
 	// Hidden seeds never visited as candidates (defensive; LHS-Discovery
 	// always lists them) survive too.
-	for _, h := range hidden {
-		if inHidden[h.Key()] && !seen[h.Key()] {
+	for _, h := range plan.hidden {
+		if inHidden[h.Key()] && !plan.seen[h.Key()] {
 			res.Hidden = append(res.Hidden, h)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"dbre/internal/deps"
 	"dbre/internal/relation"
+	"dbre/internal/stats"
 	"dbre/internal/table"
 	"dbre/internal/value"
 )
@@ -21,6 +22,12 @@ type BaselineOptions struct {
 	// KeysOnlyRHS restricts right-hand sides to declared keys (a common
 	// heuristic restriction when hunting foreign keys only).
 	KeysOnlyRHS bool
+	// Stats routes projection builds and containment tests through the
+	// shared column-statistics cache; nil scans the extension directly.
+	Stats *stats.Cache
+	// Workers fans the per-attribute projection builds over a bounded
+	// worker pool; ≤ 1 builds serially.
+	Workers int
 }
 
 // DefaultBaselineOptions matches the usual unary-discovery setup.
@@ -60,20 +67,31 @@ func DiscoverBaseline(db *table.Database, opts BaselineOptions) (*BaselineResult
 
 	var infos []*attrInfo
 	for _, relName := range db.Catalog().Names() {
-		tab := db.MustTable(relName)
-		schema := tab.Schema()
+		schema := db.MustTable(relName).Schema()
 		for _, a := range schema.Attrs {
-			set, err := tab.DistinctSet([]string{a.Name})
-			if err != nil {
-				return nil, err
-			}
 			infos = append(infos, &attrInfo{
 				rel:   relName,
 				attr:  a.Name,
 				kind:  a.Type,
-				set:   set,
 				isKey: schema.IsKey(relation.NewAttrSet(a.Name)),
 			})
+		}
+	}
+	// The per-attribute projection builds are the expensive scans; they
+	// are independent pure reads, so they run on the shared worker
+	// kernel, through the cache when one is supplied.
+	errs := make([]error, len(infos))
+	stats.ForEach(len(infos), opts.Workers, func(i int) {
+		info := infos[i]
+		if opts.Stats != nil {
+			info.set, errs[i] = opts.Stats.KeySet(info.rel, []string{info.attr})
+			return
+		}
+		info.set, errs[i] = db.MustTable(info.rel).DistinctSet([]string{info.attr})
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	sort.Slice(infos, func(i, j int) bool {
@@ -130,9 +148,13 @@ func DiscoverBaseline(db *table.Database, opts BaselineOptions) (*BaselineResult
 					continue
 				}
 				res.CandidatesTested++
-				tl := db.MustTable(la.rel)
-				tr := db.MustTable(ra.rel)
-				holds, err := table.ContainedIn(tl, []string{la.attr, lb.attr}, tr, []string{ra.attr, rb.attr})
+				var holds bool
+				var err error
+				if opts.Stats != nil {
+					holds, err = opts.Stats.ContainedIn(la.rel, []string{la.attr, lb.attr}, ra.rel, []string{ra.attr, rb.attr})
+				} else {
+					holds, err = table.ContainedIn(db.MustTable(la.rel), []string{la.attr, lb.attr}, db.MustTable(ra.rel), []string{ra.attr, rb.attr})
+				}
 				if err != nil {
 					return nil, err
 				}

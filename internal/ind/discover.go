@@ -13,6 +13,7 @@ import (
 	"dbre/internal/deps"
 	"dbre/internal/expert"
 	"dbre/internal/relation"
+	"dbre/internal/stats"
 	"dbre/internal/table"
 	"dbre/internal/value"
 )
@@ -98,6 +99,10 @@ type Result struct {
 // consulting oracle for every non-empty intersection. New relations
 // conceptualized from NEIs are added to db (schema and extension). The
 // traversal order is the canonical order of q, so runs are deterministic.
+//
+// Discover is the uncached, serial reference implementation, kept
+// deliberately direct: the differential harness compares DiscoverOpts
+// (cached and/or parallel counting) against it.
 func Discover(db *table.Database, q *deps.JoinSet, oracle expert.Oracle) (*Result, error) {
 	if oracle == nil {
 		oracle = expert.NewAuto()
@@ -116,14 +121,14 @@ func processJoin(db *table.Database, join deps.EquiJoin, oracle expert.Oracle, r
 		return Outcome{Join: join, Case: CaseError, Err: c.err}
 	}
 	res.ExtensionQueries += 3
-	return decideJoin(db, join, c.nk, c.nl, c.nkl, oracle, res)
+	return decideJoin(db, join, c.nk, c.nl, c.nkl, oracle, nil, res)
 }
 
 // conceptualizeNEI creates the relation R_p(A_p) for a non-empty
 // intersection, keyed on all its attributes, and fills its extension with
 // the shared value combinations. Attribute names and types are taken from
 // the join's left side.
-func conceptualizeNEI(db *table.Database, join deps.EquiJoin, name string, oracle expert.Oracle) (string, []string, error) {
+func conceptualizeNEI(db *table.Database, join deps.EquiJoin, name string, oracle expert.Oracle, cache *stats.Cache) (string, []string, error) {
 	tk := db.MustTable(join.Left.Rel)
 	tl := db.MustTable(join.Right.Rel)
 	base := relation.Ref{Rel: join.Left.Rel, Attrs: relation.NewAttrSet(join.Left.Attrs...)}
@@ -153,18 +158,30 @@ func conceptualizeNEI(db *table.Database, join deps.EquiJoin, name string, oracl
 	if err := db.AddRelation(schema); err != nil {
 		return "", nil, err
 	}
-	// Extension: the distinct intersection of the two projections.
+	// Extension: the distinct intersection of the two projections. The
+	// right-side membership test reuses the cached projection when a
+	// cache is supplied — the counting phase already built it for N_l.
 	newTab := db.MustTable(name)
 	leftRows, err := tk.DistinctRows(join.Left.Attrs)
 	if err != nil {
 		return "", nil, err
 	}
-	rightSet, err := tl.DistinctSet(join.Right.Attrs)
-	if err != nil {
-		return "", nil, err
+	var contains func(row []value.Value) bool
+	if cache != nil {
+		member, err := cache.Membership(join.Right.Rel, join.Right.Attrs)
+		if err != nil {
+			return "", nil, err
+		}
+		contains = member
+	} else {
+		rightSet, err := tl.DistinctSet(join.Right.Attrs)
+		if err != nil {
+			return "", nil, err
+		}
+		contains = func(row []value.Value) bool { _, ok := rightSet[rowSetKey(row)]; return ok }
 	}
 	for _, row := range leftRows {
-		if _, shared := rightSet[rowSetKey(row)]; shared {
+		if contains(row) {
 			if err := newTab.Insert(table.Row(row)); err != nil {
 				return "", nil, err
 			}

@@ -2,13 +2,27 @@ package ind
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"dbre/internal/deps"
 	"dbre/internal/expert"
+	"dbre/internal/stats"
 	"dbre/internal/table"
 )
+
+// Opts configures the counting phase of IND-Discovery. The zero value
+// reproduces the reference algorithm: direct extension scans, serial.
+type Opts struct {
+	// Stats routes every count-distinct/join query through the shared
+	// column-statistics cache, so projections scanned once are reused
+	// across joins (N_k of a side appearing in several joins, N_kl
+	// against the sets already built for N_k/N_l) and across later
+	// pipeline phases. nil scans the extension directly.
+	Stats *stats.Cache
+	// Workers fans the counting phase over a bounded worker pool
+	// (stats.ForEach); ≤ 1 counts serially, 0 is serial too (the
+	// pipeline's "0 = serial" convention), < 0 selects GOMAXPROCS.
+	Workers int
+}
 
 // DiscoverParallel is Discover with the counting phase fanned out over a
 // worker pool. The three extension queries per equi-join are independent
@@ -18,30 +32,27 @@ import (
 // result and the expert dialogue are identical to the serial algorithm.
 // workers ≤ 0 selects GOMAXPROCS.
 func DiscoverParallel(db *table.Database, q *deps.JoinSet, oracle expert.Oracle, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = -1 // GOMAXPROCS, preserving the historical contract
+	}
+	return DiscoverOpts(db, q, oracle, Opts{Workers: workers})
+}
+
+// DiscoverOpts runs IND-Discovery with the given counting configuration.
+// Counting runs first (cached and/or parallel per o), then the decision
+// phase replays the algorithm's branches sequentially in canonical join
+// order; outcomes, elicited INDs and the expert dialogue are identical
+// to the serial reference Discover — the differential harness asserts
+// exactly this.
+func DiscoverOpts(db *table.Database, q *deps.JoinSet, oracle expert.Oracle, o Opts) (*Result, error) {
 	if oracle == nil {
 		oracle = expert.NewAuto()
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	joins := q.Sorted()
 	results := make([]joinCounts, len(joins))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i] = countJoin(db, joins[i])
-			}
-		}()
-	}
-	for i := range joins {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	stats.ForEach(len(joins), o.Workers, func(i int) {
+		results[i] = countJoinOpts(db, joins[i], o.Stats)
+	})
 
 	res := &Result{INDs: deps.NewINDSet()}
 	for i, join := range joins {
@@ -51,7 +62,7 @@ func DiscoverParallel(db *table.Database, q *deps.JoinSet, oracle expert.Oracle,
 			continue
 		}
 		res.ExtensionQueries += 3
-		out := decideJoin(db, join, c.nk, c.nl, c.nkl, oracle, res)
+		out := decideJoin(db, join, c.nk, c.nl, c.nkl, oracle, o.Stats, res)
 		res.Outcomes = append(res.Outcomes, out)
 	}
 	return res, nil
@@ -63,8 +74,14 @@ type joinCounts struct {
 	err         error
 }
 
-// countJoin computes the three counts of one equi-join.
+// countJoin computes the three counts of one equi-join by direct scans.
 func countJoin(db *table.Database, join deps.EquiJoin) (c joinCounts) {
+	return countJoinOpts(db, join, nil)
+}
+
+// countJoinOpts computes the three counts of one equi-join, through the
+// statistics cache when one is supplied.
+func countJoinOpts(db *table.Database, join deps.EquiJoin, cache *stats.Cache) (c joinCounts) {
 	tk, ok := db.Table(join.Left.Rel)
 	if !ok {
 		c.err = fmt.Errorf("ind: unknown relation %q", join.Left.Rel)
@@ -73,6 +90,16 @@ func countJoin(db *table.Database, join deps.EquiJoin) (c joinCounts) {
 	tl, ok := db.Table(join.Right.Rel)
 	if !ok {
 		c.err = fmt.Errorf("ind: unknown relation %q", join.Right.Rel)
+		return c
+	}
+	if cache != nil {
+		if c.nk, c.err = cache.DistinctCount(join.Left.Rel, join.Left.Attrs); c.err != nil {
+			return c
+		}
+		if c.nl, c.err = cache.DistinctCount(join.Right.Rel, join.Right.Attrs); c.err != nil {
+			return c
+		}
+		c.nkl, c.err = cache.JoinDistinctCount(join.Left.Rel, join.Left.Attrs, join.Right.Rel, join.Right.Attrs)
 		return c
 	}
 	if c.nk, c.err = tk.DistinctCount(join.Left.Attrs); c.err != nil {
@@ -87,7 +114,7 @@ func countJoin(db *table.Database, join deps.EquiJoin) (c joinCounts) {
 
 // decideJoin applies the algorithm's branches given precomputed counts; it
 // mirrors the tail of processJoin.
-func decideJoin(db *table.Database, join deps.EquiJoin, nk, nl, nkl int, oracle expert.Oracle, res *Result) Outcome {
+func decideJoin(db *table.Database, join deps.EquiJoin, nk, nl, nkl int, oracle expert.Oracle, cache *stats.Cache, res *Result) Outcome {
 	out := Outcome{Join: join, NK: nk, NL: nl, NKL: nkl}
 	add := func(d deps.IND) {
 		if res.INDs.Add(d) {
@@ -111,7 +138,7 @@ func decideJoin(db *table.Database, join deps.EquiJoin, nk, nl, nkl int, oracle 
 		decision := oracle.DecideNEI(expert.NEIContext{Join: join, NK: nk, NL: nl, NKL: nkl})
 		switch decision.Action {
 		case expert.NEINewRelation:
-			name, newRel, err := conceptualizeNEI(db, join, decision.Name, oracle)
+			name, newRel, err := conceptualizeNEI(db, join, decision.Name, oracle, cache)
 			if err != nil {
 				out.Case, out.Err = CaseError, err
 				return out

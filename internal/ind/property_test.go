@@ -1,13 +1,18 @@
 package ind
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
 
+	"dbre/internal/deps"
 	"dbre/internal/expert"
+	"dbre/internal/relation"
+	"dbre/internal/stats"
 	"dbre/internal/table"
+	"dbre/internal/value"
 )
 
 // randSets generates two random small integer multisets.
@@ -132,4 +137,105 @@ func buildPair(a, b []int64) *table.Database {
 		db.MustTable("R").MustInsert(table.Row{intVal(v)})
 	}
 	return db
+}
+
+// randMultiDB generates several single-attribute relations plus the join
+// set connecting every ordered pair — enough joins that a worker pool has
+// real work and NEI conceptualization (which appends relations mid-run)
+// occurs regularly.
+type randMultiDB struct {
+	Cols [][]int64
+}
+
+// Generate implements quick.Generator.
+func (randMultiDB) Generate(r *rand.Rand, _ int) reflect.Value {
+	k := 3 + r.Intn(3) // 3..5 relations
+	cols := make([][]int64, k)
+	for i := range cols {
+		n := r.Intn(25)
+		cols[i] = make([]int64, n)
+		for j := range cols[i] {
+			cols[i][j] = int64(r.Intn(10))
+		}
+	}
+	return reflect.ValueOf(randMultiDB{cols})
+}
+
+func (m randMultiDB) build() (*table.Database, *deps.JoinSet) {
+	schemas := make([]*relation.Schema, len(m.Cols))
+	for i := range m.Cols {
+		schemas[i] = relation.MustSchema(fmt.Sprintf("T%d", i),
+			[]relation.Attribute{{Name: "v", Type: value.KindInt}})
+	}
+	db := table.NewDatabase(relation.MustCatalog(schemas...))
+	for i, col := range m.Cols {
+		for _, v := range col {
+			db.MustTable(fmt.Sprintf("T%d", i)).MustInsert(table.Row{intVal(v)})
+		}
+	}
+	var joins []deps.EquiJoin
+	for i := range m.Cols {
+		for j := i + 1; j < len(m.Cols); j++ {
+			joins = append(joins, deps.NewEquiJoin(
+				deps.NewSide(fmt.Sprintf("T%d", i), "v"),
+				deps.NewSide(fmt.Sprintf("T%d", j), "v")))
+		}
+	}
+	return db, deps.NewJoinSet(joins...)
+}
+
+// TestQuickParallelCachedEqualsSerialOracleOrder: for p ∈ {2, 4, 8}, with
+// and without the statistics cache, DiscoverParallel/DiscoverOpts must
+// reproduce the serial reference run exactly — same outcomes, same INDs,
+// same conceptualized relations, same query counter, and the expert
+// consulted on the same subjects in the same order with the same answers
+// (checked through a recording oracle around the full Auto policy, so NEI
+// conceptualization and its mid-run relation appends are exercised).
+func TestQuickParallelCachedEqualsSerialOracleOrder(t *testing.T) {
+	f := func(m randMultiDB) bool {
+		refDB, refQ := m.build()
+		refOracle := expert.NewRecording(expert.NewAuto())
+		ref, err := Discover(refDB, refQ, refOracle)
+		if err != nil {
+			return false
+		}
+		for _, p := range []int{2, 4, 8} {
+			for _, cached := range []bool{false, true} {
+				db, q := m.build()
+				oracle := expert.NewRecording(expert.NewAuto())
+				var got *Result
+				if cached {
+					got, err = DiscoverOpts(db, q, oracle, Opts{Stats: stats.NewCache(db), Workers: p})
+				} else {
+					got, err = DiscoverParallel(db, q, oracle, p)
+				}
+				if err != nil {
+					return false
+				}
+				if got.INDs.String() != ref.INDs.String() ||
+					got.ExtensionQueries != ref.ExtensionQueries ||
+					len(got.Outcomes) != len(ref.Outcomes) ||
+					!reflect.DeepEqual(got.NewRelations, ref.NewRelations) {
+					return false
+				}
+				for i := range ref.Outcomes {
+					if got.Outcomes[i].String() != ref.Outcomes[i].String() {
+						return false
+					}
+				}
+				if len(oracle.Log) != len(refOracle.Log) {
+					return false
+				}
+				for i := range refOracle.Log {
+					if oracle.Log[i] != refOracle.Log[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
 }

@@ -1,0 +1,212 @@
+package stats_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dbre/internal/core"
+	"dbre/internal/expert"
+	"dbre/internal/fd"
+	"dbre/internal/ind"
+	"dbre/internal/stats"
+	"dbre/internal/workload"
+)
+
+// stripTimings removes the wall-clock section, the only part of a report
+// that may legitimately differ between two runs (same helper as the
+// top-level golden test).
+func stripTimings(text string) string {
+	if i := strings.Index(text, "\nTimings"); i >= 0 {
+		return text[:i] + "\n"
+	}
+	return text
+}
+
+// randomSpec draws a small random workload specification. Everything
+// downstream is deterministic in the spec (workload.Generate seeds its own
+// rand from Spec.Seed), so the same spec always yields byte-identical
+// databases and programs.
+func randomSpec(rng *rand.Rand, seed int64) workload.Spec {
+	dims := 2 + rng.Intn(4) // 2..5
+	spec := workload.Spec{
+		Seed:              seed,
+		Dimensions:        dims,
+		Facts:             1 + rng.Intn(3),
+		FKsPerFact:        1 + rng.Intn(dims),
+		AttrsPerDimension: 1 + rng.Intn(3),
+		DimensionRows:     20 + rng.Intn(40),
+		FactRows:          50 + rng.Intn(250),
+		EmbedProb:         rng.Float64(),
+		DropProb:          rng.Float64() * 0.5,
+		ProgramsPerJoin:   1,
+	}
+	if rng.Intn(3) == 0 {
+		spec.Corruption = rng.Float64() * 0.1
+	}
+	if rng.Intn(4) == 0 {
+		spec.CompositeDims = 1 + rng.Intn(dims)
+	}
+	return spec
+}
+
+// TestDifferentialCachedParallelVsReference is the headline harness of the
+// statistics layer: across many random schemas, extensions and join sets it
+// runs the full pipeline twice — once with the uncached, serial reference
+// implementations, once with the statistics cache and a worker pool — and
+// asserts the rendered reports are identical. The pipeline includes
+// Restruct's splits and migrations, so every run also exercises the cache's
+// invalidation against mid-pipeline mutations; the post-run audit then
+// proves the surviving cache agrees with direct scans of the restructured
+// extension.
+func TestDifferentialCachedParallelVsReference(t *testing.T) {
+	runs := 120
+	if testing.Short() {
+		runs = 25
+	}
+	rng := rand.New(rand.NewSource(0x5eed))
+	for i := 0; i < runs; i++ {
+		spec := randomSpec(rng, int64(1000+i))
+		workers := []int{2, 4, 8}[rng.Intn(3)]
+		inferKeys := rng.Intn(3) == 0
+		t.Run(fmt.Sprintf("spec%03d", i), func(t *testing.T) {
+			// Two identical databases from the same deterministic spec:
+			// the pipeline mutates its input in place.
+			ref, err := workload.Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached, err := workload.Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			refRep, err := core.RunWithQ(ref.DB, ref.Joins, core.Options{
+				Oracle:       expert.NewAuto(),
+				InferKeys:    inferKeys,
+				NoStatsCache: true,
+			}, nil)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+
+			cache := stats.NewCache(cached.DB)
+			cachedRep, err := core.RunWithQ(cached.DB, cached.Joins, core.Options{
+				Oracle:      expert.NewAuto(),
+				InferKeys:   inferKeys,
+				Parallelism: workers,
+				Stats:       cache,
+			}, nil)
+			if err != nil {
+				t.Fatalf("cached run: %v", err)
+			}
+
+			refText := stripTimings(refRep.Text())
+			cachedText := stripTimings(cachedRep.Text())
+			if refText != cachedText {
+				t.Errorf("spec %+v (workers=%d, inferKeys=%v):\nreference report:\n%s\ncached/parallel report:\n%s",
+					spec, workers, inferKeys, refText, cachedText)
+			}
+			// Whenever IND-Discovery actually counted (≥ 1 join, hence
+			// N_k, N_l and the shared-projection N_kl), the cache must
+			// have been reused.
+			if m := cache.Metrics(); cachedRep.IND.ExtensionQueries > 0 && m.Hits == 0 {
+				t.Errorf("cache never hit despite %d extension queries: %+v", cachedRep.IND.ExtensionQueries, m)
+			}
+
+			// Post-run audit: Restruct replaced and migrated relations
+			// after statistics were gathered; a cache that missed an
+			// invalidation would now disagree with direct scans.
+			for _, name := range cached.DB.Catalog().Names() {
+				tab := cached.DB.MustTable(name)
+				for _, a := range tab.Schema().Attrs {
+					want, err := tab.DistinctCount([]string{a.Name})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := cache.DistinctCount(name, []string{a.Name})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Errorf("post-restruct %s.%s: cache says %d distinct, extension has %d", name, a.Name, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialBaselines runs the exhaustive IND and FD baselines in
+// reference and cached/parallel modes over random extensions and compares
+// their complete results.
+func TestDifferentialBaselines(t *testing.T) {
+	runs := 40
+	if testing.Short() {
+		runs = 10
+	}
+	rng := rand.New(rand.NewSource(0xba5e))
+	for i := 0; i < runs; i++ {
+		spec := randomSpec(rng, int64(5000+i))
+		w, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runBaselineComparison(t, i, w, rng)
+	}
+}
+
+func runBaselineComparison(t *testing.T, i int, w *workload.Workload, rng *rand.Rand) {
+	t.Helper()
+	workers := 2 + rng.Intn(7)
+	cache := stats.NewCache(w.DB)
+
+	// Exhaustive IND discovery.
+	iopts := ind.BaselineOptions{MaxArity: 1 + rng.Intn(2), TypePruning: true}
+	refIND, err := ind.DiscoverBaseline(w.DB, iopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iopts.Stats = cache
+	iopts.Workers = workers
+	gotIND, err := ind.DiscoverBaseline(w.DB, iopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := renderINDs(refIND), renderINDs(gotIND); a != b {
+		t.Errorf("run %d: IND baseline diverged (workers=%d)\nreference:\n%s\ncached:\n%s", i, workers, a, b)
+	}
+	if refIND.CandidatesTested != gotIND.CandidatesTested || refIND.CandidatesPruned != gotIND.CandidatesPruned {
+		t.Errorf("run %d: IND baseline counters diverged: %+v vs %+v", i, refIND, gotIND)
+	}
+
+	// Exhaustive FD discovery.
+	fopts := fd.BaselineOptions{MaxLHS: 1 + rng.Intn(2), SkipKeys: rng.Intn(2) == 0}
+	refFD, err := fd.DiscoverBaselineAll(w.DB, fopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fopts.Workers = workers
+	gotFD, err := fd.DiscoverBaselineAll(w.DB, fopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refFD.FDs) != len(gotFD.FDs) || refFD.CandidatesTested != gotFD.CandidatesTested {
+		t.Fatalf("run %d: FD baseline diverged: %d FDs/%d tested vs %d FDs/%d tested",
+			i, len(refFD.FDs), refFD.CandidatesTested, len(gotFD.FDs), gotFD.CandidatesTested)
+	}
+	for j := range refFD.FDs {
+		if refFD.FDs[j].String() != gotFD.FDs[j].String() {
+			t.Errorf("run %d: FD %d diverged: %s vs %s", i, j, refFD.FDs[j], gotFD.FDs[j])
+		}
+	}
+}
+
+func renderINDs(r *ind.BaselineResult) string {
+	var b strings.Builder
+	for _, d := range r.INDs.Sorted() {
+		fmt.Fprintf(&b, "%s\n", d)
+	}
+	return b.String()
+}

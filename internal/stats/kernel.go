@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) over a bounded pool of
+// workers — the shared counting kernel behind parallel IND-Discovery,
+// RHS-Discovery and the exhaustive baselines. workers ≤ 0 selects
+// GOMAXPROCS; workers == 1 (or n < 2) degenerates to a plain loop, so
+// serial callers pay nothing. fn must be safe to call concurrently and
+// must confine its writes to index i (the usual "fill results[i]"
+// pattern); completion of ForEach happens-after every fn call.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,420 @@
+// Package stats is the shared column-statistics layer of the pipeline.
+//
+// Every phase of the paper's method issues the same handful of counting
+// queries against the extension — ‖r[X]‖ distinct counts for
+// IND-Discovery and key inference, projection containment for the
+// baselines, grouped projections for the FD checks of RHS-Discovery —
+// and, before this package, each consumer re-materialized the projection
+// from the raw rows on every call. Cache memoizes, per (relation,
+// ordered attribute list), the hashed projection index built by
+// table.(*Table).Projection: the distinct-key dictionary, the distinct
+// count, and the row → group-id vector, so one extension scan serves
+// every consumer.
+//
+// Invalidation: each table carries a mutation counter
+// (table.(*Table).Version) bumped by every mutation path — Insert and
+// InsertUnchecked — and ReplaceRelation (restruct's splits and
+// migrations) installs a fresh *Table. A cache entry records the
+// (pointer, version) pair it was built against and is revalidated on
+// every lookup, so mutations are detected without the mutator knowing
+// about the cache. Callers that know they invalidated wholesale (the
+// pipeline after Restruct) may additionally call Invalidate or
+// InvalidateAll to release memory eagerly.
+//
+// Semantics: every answer is derived from the same projection index a
+// direct scan would build — identical key construction, identical NULL
+// handling — so cached results are byte-for-byte the paper's counting
+// semantics. The differential harness (differential_test.go and the
+// top-level equivalence_test.go) proves this on randomized pipelines.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dbre/internal/table"
+	"dbre/internal/value"
+)
+
+// DefaultMaxEntries bounds the number of memoized projections per cache.
+// Each entry is O(rows) in the indexed relation; the bound keeps worst
+// case memory at MaxEntries × max-relation-size row indexes. Eviction is
+// arbitrary — the cache never changes results, only their cost.
+const DefaultMaxEntries = 1024
+
+// Metrics is a snapshot of cache-effectiveness counters.
+type Metrics struct {
+	Hits          uint64
+	Misses        uint64 // includes rebuilds forced by invalidation
+	Stale         uint64 // misses caused by a version/pointer mismatch
+	Evictions     uint64
+	Invalidations uint64 // entries dropped through Invalidate[All]
+	Entries       int    // currently cached projections
+}
+
+// entry is one memoized projection index. It is built at most once
+// (guarded by once); the (tab, version) pair records the extension state
+// it describes. The per-group row slices are derived lazily — the
+// counting phases never need them, only the FD checks do.
+type entry struct {
+	tab     *table.Table
+	version uint64
+	once    sync.Once
+	proj    *table.Projection
+	err     error
+
+	groupsOnce sync.Once
+	groups     [][]int32 // group id → row indexes, derived on first FD use
+}
+
+// groupSlices materializes the group id → row indexes view of the
+// projection, once, into a single shared backing array.
+func (e *entry) groupSlices() [][]int32 {
+	e.groupsOnce.Do(func() {
+		n := e.proj.Len()
+		starts := make([]int32, n+1)
+		for _, id := range e.proj.RowGroup {
+			if id >= 0 {
+				starts[id+1]++
+			}
+		}
+		for id := 1; id <= n; id++ {
+			starts[id] += starts[id-1]
+		}
+		flat := make([]int32, e.proj.NonNull)
+		cursor := make([]int32, n)
+		copy(cursor, starts[:n])
+		for i, id := range e.proj.RowGroup {
+			if id >= 0 {
+				flat[cursor[id]] = int32(i)
+				cursor[id]++
+			}
+		}
+		groups := make([][]int32, n)
+		for id := 0; id < n; id++ {
+			groups[id] = flat[starts[id]:starts[id+1]]
+		}
+		e.groups = groups
+	})
+	return e.groups
+}
+
+// Cache memoizes projection indexes for the relations of one database.
+// It is safe for concurrent use; builds of distinct projections proceed
+// in parallel, duplicate requests for the same projection coalesce.
+// Tables themselves are not synchronized — as everywhere else in the
+// engine, mutating a table concurrently with reads (cached or not) is
+// the caller's race; the pipeline only mutates between counting phases.
+type Cache struct {
+	db  *table.Database
+	max int
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	m       Metrics
+}
+
+// NewCache creates a cache over db with the default entry bound.
+func NewCache(db *table.Database) *Cache {
+	return &Cache{db: db, max: DefaultMaxEntries, entries: make(map[string]*entry)}
+}
+
+// SetMaxEntries adjusts the memory bound; n < 1 means unbounded.
+func (c *Cache) SetMaxEntries(n int) {
+	c.mu.Lock()
+	c.max = n
+	c.mu.Unlock()
+}
+
+// Metrics returns a snapshot of the effectiveness counters.
+func (c *Cache) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.m
+	m.Entries = len(c.entries)
+	return m
+}
+
+// TableFor resolves the current table of a relation (nil when unknown).
+// Consumers handed a *Table directly (key inference) use it to confirm
+// the cache and they are looking at the same extension.
+func (c *Cache) TableFor(rel string) *table.Table {
+	t, _ := c.db.Table(rel)
+	return t
+}
+
+// key builds the map key. The attribute list is order-sensitive on
+// purpose: group keys concatenate values positionally, and join queries
+// compare keys across two relations attribute by attribute.
+func key(rel string, attrs []string) string {
+	return rel + "\x00" + strings.Join(attrs, "\x1f")
+}
+
+// lookup returns the valid projection entry for (rel, attrs), building
+// it on demand. The double-checked (pointer, version) test is the
+// invalidation hook: any mutation since the build forces a rebuild.
+func (c *Cache) lookup(rel string, attrs []string) (*entry, error) {
+	tab, ok := c.db.Table(rel)
+	if !ok {
+		return nil, fmt.Errorf("stats: unknown relation %q", rel)
+	}
+	k := key(rel, attrs)
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if ok && (e.tab != tab || e.version != tab.Version()) {
+		c.m.Stale++
+		ok = false
+	}
+	if !ok {
+		c.m.Misses++
+		if c.max > 0 {
+			for len(c.entries) >= c.max {
+				for victim := range c.entries {
+					delete(c.entries, victim)
+					c.m.Evictions++
+					break
+				}
+			}
+		}
+		e = &entry{tab: tab, version: tab.Version()}
+		c.entries[k] = e
+	} else {
+		c.m.Hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.proj, e.err = tab.Projection(attrs)
+	})
+	return e, e.err
+}
+
+// RowGroups returns the memoized row → group-id vector of rel over attrs
+// (-1 marks rows with a NULL among attrs) together with the number of
+// groups. The caller must treat the slice as read-only.
+func (c *Cache) RowGroups(rel string, attrs []string) ([]int32, int, error) {
+	e, err := c.lookup(rel, attrs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e.proj.RowGroup, e.proj.Len(), nil
+}
+
+// GroupSlices returns the memoized group id → row indexes view of the
+// projection of rel over attrs. The caller must treat it as read-only.
+func (c *Cache) GroupSlices(rel string, attrs []string) ([][]int32, error) {
+	e, err := c.lookup(rel, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return e.groupSlices(), nil
+}
+
+// KeySet returns the distinct-key set of the projection in the canonical
+// string encoding of table.DistinctSet (the int-specialized fast-path
+// representation is re-encoded), for consumers that compare key sets
+// across arbitrary attribute pairs.
+func (c *Cache) KeySet(rel string, attrs []string) (map[string]struct{}, error) {
+	e, err := c.lookup(rel, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return stringKeys(e.proj), nil
+}
+
+// stringKeys materializes the canonical string key set of a projection,
+// re-encoding the int fast-path dictionary when needed.
+func stringKeys(p *table.Projection) map[string]struct{} {
+	set := make(map[string]struct{}, p.Len())
+	if p.Ints != nil {
+		var scratch []byte
+		for v := range p.Ints {
+			scratch = value.NewInt(v).AppendKey(scratch[:0])
+			scratch = append(scratch, 0x1f)
+			set[string(scratch)] = struct{}{}
+		}
+		return set
+	}
+	for k := range p.Strs {
+		set[k] = struct{}{}
+	}
+	return set
+}
+
+// Membership returns a predicate testing whether a projected row's value
+// combination occurs in the cached projection of rel over attrs. The
+// returned closure reuses a scratch buffer and is not safe for
+// concurrent use.
+func (c *Cache) Membership(rel string, attrs []string) (func(row []value.Value) bool, error) {
+	e, err := c.lookup(rel, attrs)
+	if err != nil {
+		return nil, err
+	}
+	p := e.proj
+	if p.Ints != nil {
+		return func(row []value.Value) bool {
+			if len(row) != 1 || row[0].IsNull() || row[0].Kind() != value.KindInt {
+				return false
+			}
+			_, ok := p.Ints[row[0].Int()]
+			return ok
+		}, nil
+	}
+	var scratch []byte
+	return func(row []value.Value) bool {
+		scratch = scratch[:0]
+		for _, v := range row {
+			if v.IsNull() {
+				return false
+			}
+			scratch = v.AppendKey(scratch)
+			scratch = append(scratch, 0x1f)
+		}
+		_, ok := p.Strs[string(scratch)]
+		return ok
+	}, nil
+}
+
+// DistinctCount is the paper's ‖r[X]‖ — table.DistinctCount through the
+// cache.
+func (c *Cache) DistinctCount(rel string, attrs []string) (int, error) {
+	e, err := c.lookup(rel, attrs)
+	if err != nil {
+		return 0, err
+	}
+	return e.proj.Len(), nil
+}
+
+// NonNullRows counts the tuples with no NULL among attrs — the row base
+// of key-inference uniqueness tests and FD supports.
+func (c *Cache) NonNullRows(rel string, attrs []string) (int, error) {
+	e, err := c.lookup(rel, attrs)
+	if err != nil {
+		return 0, err
+	}
+	return e.proj.NonNull, nil
+}
+
+// JoinDistinctCount is ‖r_k[A_k] ⋈ r_l[A_l]‖ — the N_kl of IND-Discovery
+// — computed as the key intersection of the two cached projections.
+func (c *Cache) JoinDistinctCount(relK string, ak []string, relL string, al []string) (int, error) {
+	if len(ak) != len(al) {
+		return 0, fmt.Errorf("stats: equi-join arity mismatch: %v vs %v", ak, al)
+	}
+	ek, err := c.lookup(relK, ak)
+	if err != nil {
+		return 0, err
+	}
+	el, err := c.lookup(relL, al)
+	if err != nil {
+		return 0, err
+	}
+	pk, pl := ek.proj, el.proj
+	if pk.Ints != nil && pl.Ints != nil {
+		a, b := pk.Ints, pl.Ints
+		if len(b) < len(a) {
+			a, b = b, a
+		}
+		n := 0
+		for v := range a {
+			if _, shared := b[v]; shared {
+				n++
+			}
+		}
+		return n, nil
+	}
+	gk, gl := pk.Strs, pl.Strs
+	// Mixed representations (an integer column joined against a
+	// non-integer projection) re-encode the int side; keys of different
+	// kinds never collide, exactly as in a direct scan.
+	if gk == nil {
+		gk = stringKeysAsInt32(pk)
+	}
+	if gl == nil {
+		gl = stringKeysAsInt32(pl)
+	}
+	if len(gl) < len(gk) {
+		gk, gl = gl, gk
+	}
+	n := 0
+	for k := range gk {
+		if _, shared := gl[k]; shared {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// stringKeysAsInt32 is stringKeys with the dictionary value type of the
+// projection maps, for the mixed-representation fallbacks.
+func stringKeysAsInt32(p *table.Projection) map[string]int32 {
+	out := make(map[string]int32, len(p.Ints))
+	var scratch []byte
+	for v, id := range p.Ints {
+		scratch = value.NewInt(v).AppendKey(scratch[:0])
+		scratch = append(scratch, 0x1f)
+		out[string(scratch)] = id
+	}
+	return out
+}
+
+// ContainedIn reports whether the inclusion dependency
+// relK[ak] ≪ relL[al] is satisfied by the extension.
+func (c *Cache) ContainedIn(relK string, ak []string, relL string, al []string) (bool, error) {
+	if len(ak) != len(al) {
+		return false, fmt.Errorf("stats: inclusion arity mismatch: %v vs %v", ak, al)
+	}
+	ek, err := c.lookup(relK, ak)
+	if err != nil {
+		return false, err
+	}
+	el, err := c.lookup(relL, al)
+	if err != nil {
+		return false, err
+	}
+	pk, pl := ek.proj, el.proj
+	if pk.Ints != nil && pl.Ints != nil {
+		for v := range pk.Ints {
+			if _, ok := pl.Ints[v]; !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	gk, gl := pk.Strs, pl.Strs
+	if gk == nil {
+		gk = stringKeysAsInt32(pk)
+	}
+	if gl == nil {
+		gl = stringKeysAsInt32(pl)
+	}
+	for k := range gk {
+		if _, ok := gl[k]; !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Invalidate drops every cached projection of one relation — the
+// explicit invalidation hook for callers that just mutated it.
+func (c *Cache) Invalidate(rel string) {
+	prefix := rel + "\x00"
+	c.mu.Lock()
+	for k := range c.entries {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.entries, k)
+			c.m.Invalidations++
+		}
+	}
+	c.mu.Unlock()
+}
+
+// InvalidateAll drops every cached projection — called by the pipeline
+// after schema-restructuring migrations touch many relations at once.
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	c.m.Invalidations += uint64(len(c.entries))
+	c.entries = make(map[string]*entry)
+	c.mu.Unlock()
+}

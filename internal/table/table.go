@@ -29,6 +29,12 @@ type Table struct {
 	// constraint so bulk loads avoid repeated name resolution.
 	uniq    []map[string]int
 	uniqIdx [][]int
+	// version counts mutations. Every path that changes the extension
+	// (Insert, InsertUnchecked) bumps it; derived statistics keyed by
+	// (table, version) — the stats package's cache — use it as their
+	// invalidation hook. ReplaceRelation installs a fresh *Table, so a
+	// changed pointer equally signals staleness.
+	version uint64
 }
 
 // New creates an empty table for the given schema.
@@ -53,6 +59,12 @@ func New(schema *relation.Schema) *Table {
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *relation.Schema { return t.schema }
+
+// Version reports the mutation counter. It changes on every Insert or
+// InsertUnchecked; cached statistics derived from the extension are valid
+// exactly as long as the (pointer, version) pair they were built against
+// still describes the relation.
+func (t *Table) Version() uint64 { return t.version }
 
 // Len reports the number of tuples.
 func (t *Table) Len() int { return len(t.rows) }
@@ -130,6 +142,7 @@ func (t *Table) Insert(row Row) error {
 		t.uniq[ui][key] = len(t.rows)
 	}
 	t.rows = append(t.rows, stored)
+	t.version++
 	return nil
 }
 
@@ -145,6 +158,7 @@ func (t *Table) MustInsert(row Row) {
 // explicitly copes with corrupted extensions).
 func (t *Table) InsertUnchecked(row Row) {
 	t.rows = append(t.rows, row.Clone())
+	t.version++
 }
 
 // Project returns the values of the given attributes for every tuple, in
@@ -221,6 +235,146 @@ func (t *Table) DistinctSet(attrs []string) (map[string]struct{}, error) {
 		set[key] = struct{}{}
 	}
 	return set, nil
+}
+
+// GroupRows builds the hashed projection index of the table over the
+// given attributes: the row indexes grouped by distinct NULL-free
+// composite key, keyed exactly like DistinctSet. Projection is the same
+// index in the leaner form the stats cache memoizes; GroupRows remains
+// for consumers that want the keyed map directly.
+func (t *Table) GroupRows(attrs []string) (map[string][]int32, error) {
+	idx, err := t.colIndexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	// The composite key is built into a reused scratch buffer and looked
+	// up via the no-allocation string-conversion form; only the first
+	// occurrence of each distinct key materializes a string. Group slices
+	// live behind an id indirection so rows append without re-hashing the
+	// key into the result map.
+	index := make(map[string]int32)
+	var slices [][]int32
+	var scratch []byte
+	for i, row := range t.rows {
+		scratch = scratch[:0]
+		hasNull := false
+		for _, c := range idx {
+			v := row[c]
+			if v.IsNull() {
+				hasNull = true
+				break
+			}
+			scratch = v.AppendKey(scratch)
+			scratch = append(scratch, 0x1f)
+		}
+		if hasNull {
+			continue
+		}
+		id, ok := index[string(scratch)]
+		if !ok {
+			id = int32(len(slices))
+			index[string(scratch)] = id
+			slices = append(slices, nil)
+		}
+		slices[id] = append(slices[id], int32(i))
+	}
+	groups := make(map[string][]int32, len(index))
+	for k, id := range index {
+		groups[k] = slices[id]
+	}
+	return groups, nil
+}
+
+// Projection is the hashed projection index in its reusable form: a
+// dictionary of distinct NULL-free composite keys mapping to dense group
+// ids, plus the row → group-id vector. It carries the same information
+// as GroupRows without materializing per-group row slices, which is why
+// the stats cache memoizes this representation — Len is the paper's
+// ‖r[X]‖, the dictionary answers join and containment queries, and
+// RowGroup drives the FD checks.
+type Projection struct {
+	Strs     map[string]int32 // distinct key → group id; nil when Ints is used
+	Ints     map[int64]int32  // single-integer-attribute fast path; nil when Strs is used
+	RowGroup []int32          // row index → group id, -1 for rows with a NULL among the attributes
+	NonNull  int              // rows with no NULL among the attributes
+}
+
+// Len returns the number of distinct groups — the paper's ‖r[X]‖.
+func (p *Projection) Len() int {
+	if p.Ints != nil {
+		return len(p.Ints)
+	}
+	return len(p.Strs)
+}
+
+// Projection builds the projection index over attrs. A single integer
+// attribute — keys and foreign keys, the overwhelmingly common case — is
+// indexed by its raw int64 values with no key-string allocation at all;
+// everything else uses the canonical composite-key encoding shared with
+// DistinctSet and GroupRows.
+func (t *Table) Projection(attrs []string) (*Projection, error) {
+	idx, err := t.colIndexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	p := &Projection{RowGroup: make([]int32, len(t.rows))}
+	if len(idx) == 1 && t.intProjection(idx[0], p) {
+		return p, nil
+	}
+	p.NonNull = 0 // a bailed-out int attempt may have counted some rows
+	index := make(map[string]int32)
+	var scratch []byte
+	for i, row := range t.rows {
+		scratch = scratch[:0]
+		hasNull := false
+		for _, c := range idx {
+			v := row[c]
+			if v.IsNull() {
+				hasNull = true
+				break
+			}
+			scratch = v.AppendKey(scratch)
+			scratch = append(scratch, 0x1f)
+		}
+		if hasNull {
+			p.RowGroup[i] = -1
+			continue
+		}
+		id, ok := index[string(scratch)]
+		if !ok {
+			id = int32(len(index))
+			index[string(scratch)] = id
+		}
+		p.RowGroup[i] = id
+		p.NonNull++
+	}
+	p.Strs = index
+	return p, nil
+}
+
+// intProjection fills p for a single integer column; false when a
+// non-integer value forces the generic encoding.
+func (t *Table) intProjection(col int, p *Projection) bool {
+	index := make(map[int64]int32)
+	for i, row := range t.rows {
+		v := row[col]
+		if v.IsNull() {
+			p.RowGroup[i] = -1
+			continue
+		}
+		if v.Kind() != value.KindInt {
+			return false
+		}
+		id, ok := index[v.Int()]
+		if !ok {
+			id = int32(len(index))
+			index[v.Int()] = id
+		}
+		p.RowGroup[i] = id
+		p.NonNull++
+	}
+	p.Ints = index
+	return true
 }
 
 // DistinctRows returns one representative projected row per distinct

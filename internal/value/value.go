@@ -279,6 +279,28 @@ func (v Value) SQL() string {
 	}
 }
 
+// AppendKey appends the Key() encoding of v to b without allocating a
+// string — the hot loop of the projection-index build calls it once per
+// row, so per-value garbage matters.
+func (v Value) AppendKey(b []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(b, '\x00')
+	case KindInt:
+		return strconv.AppendInt(append(b, 'i'), v.i, 10)
+	case KindFloat:
+		return strconv.AppendUint(append(b, 'f'), math.Float64bits(v.f), 16)
+	case KindString:
+		return append(append(b, 's'), v.s...)
+	case KindBool:
+		return strconv.AppendInt(append(b, 'b'), v.i, 10)
+	case KindDate:
+		return strconv.AppendInt(append(b, 'd'), v.i, 10)
+	default:
+		return append(b, '?')
+	}
+}
+
 // Key returns a compact string usable as a map key; distinct values have
 // distinct keys within a kind. It is faster than SQL() and unambiguous.
 func (v Value) Key() string {
