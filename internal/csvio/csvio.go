@@ -37,6 +37,14 @@ func Load(tab *table.Table, r io.Reader, strict bool) (violations int, err error
 		colIdx[i] = idx
 		kinds[i] = schema.Attrs[idx].Type
 	}
+	// Per-column parse memo: legacy unload files repeat the same field
+	// text endlessly (foreign keys, enumerations), and the columnar
+	// engine interns values anyway, so parsing each distinct text once
+	// per column is both faster and allocation-friendlier.
+	memo := make([]map[string]value.Value, len(header))
+	for i := range memo {
+		memo[i] = make(map[string]value.Value)
+	}
 	line := 1
 	for {
 		rec, err := cr.Read()
@@ -56,9 +64,14 @@ func Load(tab *table.Table, r io.Reader, strict bool) (violations int, err error
 			row[i] = value.Null
 		}
 		for i, field := range rec {
-			v, err := value.Parse(field, kinds[i])
-			if err != nil {
-				return violations, fmt.Errorf("csvio: relation %s line %d: %w", schema.Name, line, err)
+			v, seen := memo[i][field]
+			if !seen {
+				var err error
+				v, err = value.Parse(field, kinds[i])
+				if err != nil {
+					return violations, fmt.Errorf("csvio: relation %s line %d: %w", schema.Name, line, err)
+				}
+				memo[i][field] = v
 			}
 			row[colIdx[i]] = v
 		}
@@ -95,8 +108,10 @@ func Store(tab *table.Table, w io.Writer) error {
 		return err
 	}
 	rec := make([]string, len(header))
+	var buf table.Row
 	for i := 0; i < tab.Len(); i++ {
-		row := tab.Row(i)
+		row := tab.ReadRow(i, buf)
+		buf = row
 		for j, v := range row {
 			if v.IsNull() {
 				rec[j] = ""

@@ -83,27 +83,9 @@ func Annotate(db *table.Database, s *Schema) error {
 // countNonNull counts rows with no NULL among the given attributes, or -1
 // when an attribute is unknown.
 func countNonNull(tab *table.Table, attrs []string) int {
-	cols := make([]int, len(attrs))
-	for i, a := range attrs {
-		c, ok := tab.ColIndex(a)
-		if !ok {
-			return -1
-		}
-		cols[i] = c
-	}
-	n := 0
-	for i := 0; i < tab.Len(); i++ {
-		row := tab.Row(i)
-		ok := true
-		for _, c := range cols {
-			if row[c].IsNull() {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			n++
-		}
+	n, err := tab.CountNonNull(attrs)
+	if err != nil {
+		return -1
 	}
 	return n
 }

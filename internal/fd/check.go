@@ -35,8 +35,10 @@ func Check(tab *table.Table, lhs []string, rhs string) (expert.FDSupport, error)
 	// groups: lhs key → rhs value counts.
 	groups := make(map[string]map[string]int)
 	rows := 0
+	var buf table.Row
 	for i := 0; i < tab.Len(); i++ {
-		row := tab.Row(i)
+		row := tab.ReadRow(i, buf)
+		buf = row
 		var key strings.Builder
 		hasNull := false
 		for _, c := range cols {
@@ -149,8 +151,14 @@ func CheckNaive(tab *table.Table, lhs []string, rhs string) (expert.FDSupport, e
 	rows := 0
 	violating := make(map[int]bool)
 	n := tab.Len()
+	// Materialize every tuple once up front: the pairwise loop reads each
+	// row n times, which on the columnar engine would decode it n times.
+	mat := make([]table.Row, n)
 	for i := 0; i < n; i++ {
-		ri := tab.Row(i)
+		mat[i] = tab.Row(i)
+	}
+	for i := 0; i < n; i++ {
+		ri := mat[i]
 		nullLHS := false
 		for _, c := range cols {
 			if ri[c].IsNull() {
@@ -162,7 +170,7 @@ func CheckNaive(tab *table.Table, lhs []string, rhs string) (expert.FDSupport, e
 		}
 		rows++
 		for j := i + 1; j < n; j++ {
-			rj := tab.Row(j)
+			rj := mat[j]
 			if sameLHS(ri, rj) && !ri[rcol].Equal(rj[rcol]) {
 				// Blame the later tuple, approximating Check's
 				// majority-based count.
@@ -202,8 +210,10 @@ func NewPartition(tab *table.Table, attrs []string) (*Partition, error) {
 		cols[i] = c
 	}
 	groups := make(map[string][]int)
+	var buf table.Row
 	for i := 0; i < tab.Len(); i++ {
-		row := tab.Row(i)
+		row := tab.ReadRow(i, buf)
+		buf = row
 		var key strings.Builder
 		for _, c := range cols {
 			key.WriteString(row[c].Key())
@@ -245,7 +255,7 @@ func (p *Partition) Refine(tab *table.Table, attr string) (*Partition, error) {
 			delete(sub, k)
 		}
 		for _, i := range g {
-			k := tab.Row(i)[col].Key()
+			k := tab.Value(i, col).Key()
 			sub[k] = append(sub[k], i)
 		}
 		for _, s := range sub {

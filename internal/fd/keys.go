@@ -127,40 +127,17 @@ func InferKeys(tab *table.Table, opts KeyInferenceOptions) ([]relation.AttrSet, 
 }
 
 func columnHasNull(tab *table.Table, name string) bool {
-	col, ok := tab.ColIndex(name)
-	if !ok {
+	nonNull, err := tab.CountNonNull([]string{name})
+	if err != nil {
 		return true
 	}
-	for i := 0; i < tab.Len(); i++ {
-		if tab.Row(i)[col].IsNull() {
-			return true
-		}
-	}
-	return false
+	return nonNull < tab.Len()
 }
 
 func countNonNullRows(tab *table.Table, names []string) int {
-	cols := make([]int, len(names))
-	for i, a := range names {
-		c, ok := tab.ColIndex(a)
-		if !ok {
-			return 0
-		}
-		cols[i] = c
-	}
-	n := 0
-	for i := 0; i < tab.Len(); i++ {
-		row := tab.Row(i)
-		ok := true
-		for _, c := range cols {
-			if row[c].IsNull() {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			n++
-		}
+	n, err := tab.CountNonNull(names)
+	if err != nil {
+		return 0
 	}
 	return n
 }

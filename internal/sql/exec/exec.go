@@ -204,11 +204,15 @@ func execInsert(db *table.Database, s *ast.Insert) error {
 	return nil
 }
 
-// binding is one FROM-clause table instance with its current row.
+// binding is one FROM-clause table instance with its current row. buf is
+// the reused decode buffer for the columnar engine; row aliases either it
+// or the row engine's internal storage and is only valid until the next
+// iteration of the binding's loop.
 type binding struct {
 	name string // alias or table name
 	tab  *table.Table
 	row  table.Row
+	buf  table.Row
 }
 
 // env is the evaluation environment: the visible bindings, innermost last,
@@ -317,7 +321,8 @@ func query(db *table.Database, s *ast.Select, outer *env) (*Result, error) {
 		}
 		b := e.bindings[depth]
 		for i := 0; i < b.tab.Len(); i++ {
-			b.row = b.tab.Row(i)
+			b.row = b.tab.ReadRow(i, b.buf)
+			b.buf = b.row
 			if err := walk(depth + 1); err != nil {
 				return err
 			}

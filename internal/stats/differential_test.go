@@ -54,7 +54,8 @@ func randomSpec(rng *rand.Rand, seed int64) workload.Spec {
 // TestDifferentialCachedParallelVsReference is the headline harness of the
 // statistics layer: across many random schemas, extensions and join sets it
 // runs the full pipeline twice — once with the uncached, serial reference
-// implementations, once with the statistics cache and a worker pool — and
+// implementations on the row-store engine, once with the statistics cache
+// and a worker pool on the columnar engine — and
 // asserts the rendered reports are identical. The pipeline includes
 // Restruct's splits and migrations, so every run also exercises the cache's
 // invalidation against mid-pipeline mutations; the post-run audit then
@@ -72,8 +73,12 @@ func TestDifferentialCachedParallelVsReference(t *testing.T) {
 		inferKeys := rng.Intn(3) == 0
 		t.Run(fmt.Sprintf("spec%03d", i), func(t *testing.T) {
 			// Two identical databases from the same deterministic spec:
-			// the pipeline mutates its input in place.
-			ref, err := workload.Generate(spec)
+			// the pipeline mutates its input in place. The reference
+			// copy lives on the row-store engine, so this harness also
+			// differentially proves the columnar engine end to end.
+			refSpec := spec
+			refSpec.RowEngine = true
+			ref, err := workload.Generate(refSpec)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -140,7 +145,9 @@ func TestDifferentialCachedParallelVsReference(t *testing.T) {
 
 // TestDifferentialBaselines runs the exhaustive IND and FD baselines in
 // reference and cached/parallel modes over random extensions and compares
-// their complete results.
+// their complete results. The reference always runs uncached and serial on
+// a row-store copy of the extension, so the comparison spans both storage
+// engines as well as both execution strategies.
 func TestDifferentialBaselines(t *testing.T) {
 	runs := 40
 	if testing.Short() {
@@ -149,22 +156,28 @@ func TestDifferentialBaselines(t *testing.T) {
 	rng := rand.New(rand.NewSource(0xba5e))
 	for i := 0; i < runs; i++ {
 		spec := randomSpec(rng, int64(5000+i))
+		refSpec := spec
+		refSpec.RowEngine = true
+		wRef, err := workload.Generate(refSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
 		w, err := workload.Generate(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
-		runBaselineComparison(t, i, w, rng)
+		runBaselineComparison(t, i, wRef, w, rng)
 	}
 }
 
-func runBaselineComparison(t *testing.T, i int, w *workload.Workload, rng *rand.Rand) {
+func runBaselineComparison(t *testing.T, i int, wRef, w *workload.Workload, rng *rand.Rand) {
 	t.Helper()
 	workers := 2 + rng.Intn(7)
 	cache := stats.NewCache(w.DB)
 
 	// Exhaustive IND discovery.
 	iopts := ind.BaselineOptions{MaxArity: 1 + rng.Intn(2), TypePruning: true}
-	refIND, err := ind.DiscoverBaseline(w.DB, iopts)
+	refIND, err := ind.DiscoverBaseline(wRef.DB, iopts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +196,7 @@ func runBaselineComparison(t *testing.T, i int, w *workload.Workload, rng *rand.
 
 	// Exhaustive FD discovery.
 	fopts := fd.BaselineOptions{MaxLHS: 1 + rng.Intn(2), SkipKeys: rng.Intn(2) == 0}
-	refFD, err := fd.DiscoverBaselineAll(w.DB, fopts)
+	refFD, err := fd.DiscoverBaselineAll(wRef.DB, fopts)
 	if err != nil {
 		t.Fatal(err)
 	}

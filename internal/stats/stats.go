@@ -29,6 +29,7 @@
 package stats
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 	"sync"
@@ -146,9 +147,31 @@ func (c *Cache) TableFor(rel string) *table.Table {
 
 // key builds the map key. The attribute list is order-sensitive on
 // purpose: group keys concatenate values positionally, and join queries
-// compare keys across two relations attribute by attribute.
+// compare keys across two relations attribute by attribute. Every
+// segment is uvarint length-prefixed, so names containing separator
+// bytes cannot collide ({"a", "b\x1fc"} vs {"a\x1fb", "c"}); and since
+// uvarints are prefix-free, keyPrefix(rel) identifies exactly the keys
+// of one relation.
 func key(rel string, attrs []string) string {
-	return rel + "\x00" + strings.Join(attrs, "\x1f")
+	n := len(rel) + 2
+	for _, a := range attrs {
+		n += len(a) + 2
+	}
+	b := make([]byte, 0, n)
+	b = binary.AppendUvarint(b, uint64(len(rel)))
+	b = append(b, rel...)
+	for _, a := range attrs {
+		b = binary.AppendUvarint(b, uint64(len(a)))
+		b = append(b, a...)
+	}
+	return string(b)
+}
+
+// keyPrefix is the byte prefix shared by every cache key of one relation.
+func keyPrefix(rel string) string {
+	b := make([]byte, 0, len(rel)+2)
+	b = binary.AppendUvarint(b, uint64(len(rel)))
+	return string(append(b, rel...))
 }
 
 // lookup returns the valid projection entry for (rel, attrs), building
@@ -223,19 +246,21 @@ func (c *Cache) KeySet(rel string, attrs []string) (map[string]struct{}, error) 
 }
 
 // stringKeys materializes the canonical string key set of a projection,
-// re-encoding the int fast-path dictionary when needed.
+// re-encoding the int fast-path dictionary when needed. Keys use the
+// self-delimiting value encoding, so sets from arbitrary attribute lists
+// are comparable without collisions.
 func stringKeys(p *table.Projection) map[string]struct{} {
 	set := make(map[string]struct{}, p.Len())
-	if p.Ints != nil {
+	if ints := p.IntDict(); ints != nil {
 		var scratch []byte
-		for v := range p.Ints {
+		for v := range ints {
 			scratch = value.NewInt(v).AppendKey(scratch[:0])
 			scratch = append(scratch, 0x1f)
 			set[string(scratch)] = struct{}{}
 		}
 		return set
 	}
-	for k := range p.Strs {
+	for k := range p.StrDict() {
 		set[k] = struct{}{}
 	}
 	return set
@@ -251,15 +276,16 @@ func (c *Cache) Membership(rel string, attrs []string) (func(row []value.Value) 
 		return nil, err
 	}
 	p := e.proj
-	if p.Ints != nil {
+	if ints := p.IntDict(); ints != nil {
 		return func(row []value.Value) bool {
 			if len(row) != 1 || row[0].IsNull() || row[0].Kind() != value.KindInt {
 				return false
 			}
-			_, ok := p.Ints[row[0].Int()]
+			_, ok := ints[row[0].Int()]
 			return ok
 		}, nil
 	}
+	strs := p.StrDict()
 	var scratch []byte
 	return func(row []value.Value) bool {
 		scratch = scratch[:0]
@@ -270,7 +296,7 @@ func (c *Cache) Membership(rel string, attrs []string) (func(row []value.Value) 
 			scratch = v.AppendKey(scratch)
 			scratch = append(scratch, 0x1f)
 		}
-		_, ok := p.Strs[string(scratch)]
+		_, ok := strs[string(scratch)]
 		return ok
 	}, nil
 }
@@ -310,8 +336,8 @@ func (c *Cache) JoinDistinctCount(relK string, ak []string, relL string, al []st
 		return 0, err
 	}
 	pk, pl := ek.proj, el.proj
-	if pk.Ints != nil && pl.Ints != nil {
-		a, b := pk.Ints, pl.Ints
+	if ik, il := pk.IntDict(), pl.IntDict(); ik != nil && il != nil {
+		a, b := ik, il
 		if len(b) < len(a) {
 			a, b = b, a
 		}
@@ -323,7 +349,7 @@ func (c *Cache) JoinDistinctCount(relK string, ak []string, relL string, al []st
 		}
 		return n, nil
 	}
-	gk, gl := pk.Strs, pl.Strs
+	gk, gl := pk.StrDict(), pl.StrDict()
 	// Mixed representations (an integer column joined against a
 	// non-integer projection) re-encode the int side; keys of different
 	// kinds never collide, exactly as in a direct scan.
@@ -348,9 +374,10 @@ func (c *Cache) JoinDistinctCount(relK string, ak []string, relL string, al []st
 // stringKeysAsInt32 is stringKeys with the dictionary value type of the
 // projection maps, for the mixed-representation fallbacks.
 func stringKeysAsInt32(p *table.Projection) map[string]int32 {
-	out := make(map[string]int32, len(p.Ints))
+	ints := p.IntDict()
+	out := make(map[string]int32, len(ints))
 	var scratch []byte
-	for v, id := range p.Ints {
+	for v, id := range ints {
 		scratch = value.NewInt(v).AppendKey(scratch[:0])
 		scratch = append(scratch, 0x1f)
 		out[string(scratch)] = id
@@ -373,15 +400,15 @@ func (c *Cache) ContainedIn(relK string, ak []string, relL string, al []string) 
 		return false, err
 	}
 	pk, pl := ek.proj, el.proj
-	if pk.Ints != nil && pl.Ints != nil {
-		for v := range pk.Ints {
-			if _, ok := pl.Ints[v]; !ok {
+	if ik, il := pk.IntDict(), pl.IntDict(); ik != nil && il != nil {
+		for v := range ik {
+			if _, ok := il[v]; !ok {
 				return false, nil
 			}
 		}
 		return true, nil
 	}
-	gk, gl := pk.Strs, pl.Strs
+	gk, gl := pk.StrDict(), pl.StrDict()
 	if gk == nil {
 		gk = stringKeysAsInt32(pk)
 	}
@@ -399,7 +426,7 @@ func (c *Cache) ContainedIn(relK string, ak []string, relL string, al []string) 
 // Invalidate drops every cached projection of one relation — the
 // explicit invalidation hook for callers that just mutated it.
 func (c *Cache) Invalidate(rel string) {
-	prefix := rel + "\x00"
+	prefix := keyPrefix(rel)
 	c.mu.Lock()
 	for k := range c.entries {
 		if strings.HasPrefix(k, prefix) {

@@ -283,6 +283,72 @@ func TestExplicitInvalidation(t *testing.T) {
 	}
 }
 
+func TestCacheKeySeparatorCollisions(t *testing.T) {
+	// The cache key is length-prefixed, so splits of the same concatenated
+	// bytes must not share an entry: ("R", [ab,c]) vs ("R", [a,bc]) vs
+	// ("Ra", [b,c]) all spell "Rabc" when naively joined.
+	r := relation.MustSchema("R", []relation.Attribute{
+		{Name: "a", Type: value.KindString},
+		{Name: "b", Type: value.KindString},
+		{Name: "c", Type: value.KindString},
+		{Name: "ab", Type: value.KindString},
+		{Name: "bc", Type: value.KindString},
+	})
+	ra := relation.MustSchema("Ra", []relation.Attribute{
+		{Name: "b", Type: value.KindString},
+		{Name: "c", Type: value.KindString},
+	})
+	cat, err := relation.NewCatalog(r, ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := table.NewDatabase(cat)
+	rt := db.MustTable("R")
+	for i := 0; i < 4; i++ {
+		// a,bc repeat pairwise (2 distinct pairs); ab,c are all distinct.
+		rt.MustInsert(table.Row{
+			value.NewString("a" + string(rune('0'+i%2))),
+			value.NewString("b"),
+			value.NewString("c" + string(rune('0'+i))),
+			value.NewString("ab" + string(rune('0'+i))),
+			value.NewString("bc" + string(rune('0'+i%2))),
+		})
+	}
+	rat := db.MustTable("Ra")
+	rat.MustInsert(table.Row{value.NewString("u"), value.NewString("v")})
+
+	c := stats.NewCache(db)
+	nAB, err := c.DistinctCount("R", []string{"ab", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA, err := c.DistinctCount("R", []string{"a", "bc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nAB != 4 || nA != 2 {
+		t.Errorf("DistinctCount(R,[ab c]) = %d, (R,[a bc]) = %d; want 4 and 2", nAB, nA)
+	}
+	nRa, err := c.DistinctCount("Ra", []string{"b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nRa != 1 {
+		t.Errorf("DistinctCount(Ra,[b c]) = %d, want 1", nRa)
+	}
+	// Invalidating R must not evict Ra's entry: "Ra" is not a segment-wise
+	// prefix of itself under R's length-prefixed key.
+	before := c.Metrics()
+	c.Invalidate("R")
+	if _, err := c.DistinctCount("Ra", []string{"b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Metrics()
+	if after.Hits != before.Hits+1 {
+		t.Errorf("Invalidate(R) evicted Ra's entry: hits %d -> %d", before.Hits, after.Hits)
+	}
+}
+
 func TestEvictionBound(t *testing.T) {
 	db := twoRelations(t)
 	c := stats.NewCache(db)

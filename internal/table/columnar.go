@@ -1,0 +1,204 @@
+// Columnar, dictionary-encoded storage: each attribute holds an []int32
+// code vector plus a per-column dictionary of the distinct values that
+// actually occur, with NULL as the reserved code -1. Codes are dense and
+// assigned in first-occurrence order, which makes the code vector of a
+// column *itself* the row → group-id vector of its single-attribute
+// projection, and lets multi-attribute projections be composed by
+// TANE-style partition refinement (pairwise group-id products) instead of
+// re-hashing boxed rows. The row engine remains available (EngineRow) as
+// the reference implementation the differential harness compares against.
+package table
+
+import (
+	"sync"
+
+	"dbre/internal/value"
+)
+
+// nullCode is the reserved dictionary code for the SQL NULL marker.
+const nullCode int32 = -1
+
+// column is one dictionary-encoded attribute vector. The dictionary is
+// append-only: dict[i] never changes once assigned, so derived statistics
+// may safely retain prefixes of it across later inserts (staleness is the
+// cache's problem, not a memory-safety one).
+type column struct {
+	codes []int32
+	dict  []value.Value
+	// ints interns KindInt payloads and keys interns the canonical
+	// Key() encoding of every other kind. Two maps because the common
+	// case — integer keys and foreign keys — must not pay per-value
+	// string construction, and because interning by value.Value directly
+	// would diverge from Key() semantics on NaN (Go map equality treats
+	// NaN ≠ NaN; Key() compares Float64bits).
+	ints    map[int64]int32
+	keys    map[string]int32
+	nonNull int
+	// nonInt records that some non-NULL value is not KindInt; it decides
+	// whether the column's projection is int-flavored, mirroring the row
+	// engine's intProjection bail-out exactly.
+	nonInt bool
+}
+
+// encode interns v and returns its dictionary code. Callers must only
+// encode values that are actually stored: the single-attribute distinct
+// count is len(dict), which requires every dictionary entry to be
+// referenced by at least one row.
+func (c *column) encode(v value.Value) int32 {
+	if v.IsNull() {
+		return nullCode
+	}
+	c.nonNull++
+	if v.Kind() == value.KindInt {
+		if id, ok := c.ints[v.Int()]; ok {
+			return id
+		}
+		if c.ints == nil {
+			c.ints = make(map[int64]int32)
+		}
+		id := int32(len(c.dict))
+		c.ints[v.Int()] = id
+		c.dict = append(c.dict, v)
+		return id
+	}
+	c.nonInt = true
+	k := v.Key()
+	if id, ok := c.keys[k]; ok {
+		return id
+	}
+	if c.keys == nil {
+		c.keys = make(map[string]int32)
+	}
+	id := int32(len(c.dict))
+	c.keys[k] = id
+	c.dict = append(c.dict, v)
+	return id
+}
+
+// appendEncoded stores one validated row in columnar form.
+func (t *Table) appendEncoded(row Row) {
+	for i := range t.columns {
+		c := &t.columns[i]
+		c.codes = append(c.codes, c.encode(row[i]))
+	}
+	t.nrows++
+}
+
+// columnarProjection builds the projection index over the resolved
+// columns without touching a single boxed value.
+//
+// Single attribute: the code vector already is the row → group-id vector
+// (codes are dense in first-occurrence order, exactly how the row engine
+// assigns group ids), so the projection shares it and the group count is
+// the dictionary length.
+//
+// Multiple attributes: partition refinement. Starting from the first
+// column's codes, each further column refines the grouping by remapping
+// the pair (current group id, column code) — packed into one int64, the
+// pairwise group-id product — to a fresh dense id in first-occurrence
+// order. By induction the final ids equal the row engine's composite-key
+// ids bit for bit: two rows share a refined id iff they share the prefix
+// tuple, and new ids are assigned in the same first-occurrence row order.
+func (t *Table) columnarProjection(idx []int) *Projection {
+	n := t.nrows
+	if len(idx) == 1 {
+		c := &t.columns[idx[0]]
+		return &Projection{
+			RowGroup: c.codes[:n:n],
+			NonNull:  c.nonNull,
+			groups:   len(c.dict),
+			lazy:     &lazyDict{tab: t, idx: idx, dictLen: len(c.dict), intFlavor: !c.nonInt},
+		}
+	}
+	g := t.columns[idx[0]].codes[:n:n]
+	var reps []int32
+	for step := 1; step < len(idx); step++ {
+		c := &t.columns[idx[step]]
+		nd := int64(len(c.dict))
+		next := make([]int32, n)
+		remap := make(map[int64]int32)
+		reps = reps[:0]
+		for i := 0; i < n; i++ {
+			gi, ci := g[i], c.codes[i]
+			if gi < 0 || ci < 0 {
+				next[i] = nullCode
+				continue
+			}
+			k := int64(gi)*nd + int64(ci)
+			id, ok := remap[k]
+			if !ok {
+				id = int32(len(remap))
+				remap[k] = id
+				reps = append(reps, int32(i))
+			}
+			next[i] = id
+		}
+		g = next
+	}
+	nonNull := 0
+	for _, id := range g {
+		if id >= 0 {
+			nonNull++
+		}
+	}
+	return &Projection{
+		RowGroup: g,
+		NonNull:  nonNull,
+		groups:   len(reps),
+		lazy:     &lazyDict{tab: t, idx: idx, reps: reps},
+	}
+}
+
+// lazyDict defers the projection's key dictionary until a consumer
+// actually needs one (membership tests, join intersections): the counting
+// phases only read Len/RowGroup/NonNull, and building the dictionary from
+// one representative row per group costs O(groups × attrs) instead of the
+// row engine's O(rows × attrs). Snapshots (dictLen, reps) index into
+// append-only storage, so the build stays correct even if the table has
+// grown since the projection was taken.
+type lazyDict struct {
+	once      sync.Once
+	tab       *Table
+	idx       []int
+	dictLen   int     // single-attribute: dictionary length at build time
+	reps      []int32 // multi-attribute: group id → representative row
+	intFlavor bool
+}
+
+func (p *Projection) buildLazy() {
+	l := p.lazy
+	l.once.Do(func() {
+		if len(l.idx) == 1 {
+			c := &l.tab.columns[l.idx[0]]
+			if l.intFlavor {
+				m := make(map[int64]int32, l.dictLen)
+				for id := 0; id < l.dictLen; id++ {
+					m[c.dict[id].Int()] = int32(id)
+				}
+				p.ints = m
+				return
+			}
+			m := make(map[string]int32, l.dictLen)
+			var scratch []byte
+			for id := 0; id < l.dictLen; id++ {
+				scratch = c.dict[id].AppendKey(scratch[:0])
+				scratch = append(scratch, 0x1f)
+				m[string(scratch)] = int32(id)
+			}
+			p.strs = m
+			return
+		}
+		m := make(map[string]int32, len(l.reps))
+		var scratch []byte
+		for gid, ri := range l.reps {
+			scratch = scratch[:0]
+			for _, ci := range l.idx {
+				c := &l.tab.columns[ci]
+				scratch = c.dict[c.codes[ri]].AppendKey(scratch)
+				scratch = append(scratch, 0x1f)
+			}
+			m[string(scratch)] = int32(gid)
+		}
+		p.strs = m
+	})
+}

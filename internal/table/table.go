@@ -2,6 +2,13 @@
 // database extension E, tuple-level constraint enforcement, and the
 // counting, projection and equi-join primitives the elicitation algorithms
 // query ("select count distinct ..." in the paper's notation).
+//
+// Two backing stores implement the same Table interface surface: the
+// columnar, dictionary-encoded engine (the default; see columnar.go) and
+// the original row store, kept as the reference implementation the
+// differential harness compares against. All derived statistics —
+// distinct counts, projection indexes, group ids — are defined to be
+// byte-identical between the two.
 package table
 
 import (
@@ -13,6 +20,26 @@ import (
 	"dbre/internal/value"
 )
 
+// Engine selects a table's backing store.
+type Engine uint8
+
+const (
+	// EngineColumnar stores each attribute as an []int32 code vector
+	// plus a per-column value dictionary. The default.
+	EngineColumnar Engine = iota
+	// EngineRow stores boxed rows ([]value.Value per tuple) — the
+	// reference engine.
+	EngineRow
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	if e == EngineRow {
+		return "row"
+	}
+	return "columnar"
+}
+
 // Row is one tuple; Row[i] is the value of the i-th schema attribute.
 type Row []value.Value
 
@@ -23,7 +50,11 @@ func (r Row) Clone() Row { return append(Row{}, r...) }
 type Table struct {
 	schema *relation.Schema
 	cols   map[string]int // attribute name → column index
-	rows   []Row
+	// Exactly one of the two stores is active: rows for EngineRow,
+	// columns (with nrows) for EngineColumnar.
+	rows    []Row
+	columns []column
+	nrows   int
 	// uniq holds one hash index per declared UNIQUE constraint, used to
 	// enforce it on insert; uniqIdx caches the column indexes of each
 	// constraint so bulk loads avoid repeated name resolution.
@@ -37,14 +68,21 @@ type Table struct {
 	version uint64
 }
 
-// New creates an empty table for the given schema.
-func New(schema *relation.Schema) *Table {
+// New creates an empty table for the given schema on the default
+// (columnar) engine.
+func New(schema *relation.Schema) *Table { return NewWithEngine(schema, EngineColumnar) }
+
+// NewWithEngine creates an empty table on the chosen backing store.
+func NewWithEngine(schema *relation.Schema, engine Engine) *Table {
 	t := &Table{
 		schema: schema,
 		cols:   make(map[string]int, len(schema.Attrs)),
 	}
 	for i, a := range schema.Attrs {
 		t.cols[a.Name] = i
+	}
+	if engine == EngineColumnar {
+		t.columns = make([]column, len(schema.Attrs))
 	}
 	for _, u := range schema.Uniques {
 		t.uniq = append(t.uniq, make(map[string]int))
@@ -57,6 +95,14 @@ func New(schema *relation.Schema) *Table {
 	return t
 }
 
+// Engine reports the table's backing store.
+func (t *Table) Engine() Engine {
+	if t.columns != nil {
+		return EngineColumnar
+	}
+	return EngineRow
+}
+
 // Schema returns the table's schema.
 func (t *Table) Schema() *relation.Schema { return t.schema }
 
@@ -67,10 +113,58 @@ func (t *Table) Schema() *relation.Schema { return t.schema }
 func (t *Table) Version() uint64 { return t.version }
 
 // Len reports the number of tuples.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int {
+	if t.columns != nil {
+		return t.nrows
+	}
+	return len(t.rows)
+}
 
-// Row returns the i-th tuple. The caller must not modify it.
-func (t *Table) Row(i int) Row { return t.rows[i] }
+// Row returns the i-th tuple. The caller must not modify it. On the
+// columnar engine every call materializes a fresh row; iteration-heavy
+// consumers should use ReadRow with a reused buffer instead.
+func (t *Table) Row(i int) Row {
+	if t.columns != nil {
+		return t.ReadRow(i, make(Row, len(t.columns)))
+	}
+	return t.rows[i]
+}
+
+// ReadRow returns the i-th tuple, decoding into buf on the columnar
+// engine (buf is grown when too small) and returning internal storage on
+// the row engine. The returned row is only valid until the next ReadRow
+// with the same buffer; the caller must not modify or retain it.
+func (t *Table) ReadRow(i int, buf Row) Row {
+	if t.columns == nil {
+		return t.rows[i]
+	}
+	if len(buf) < len(t.columns) {
+		buf = make(Row, len(t.columns))
+	}
+	buf = buf[:len(t.columns)]
+	for c := range t.columns {
+		col := &t.columns[c]
+		if code := col.codes[i]; code >= 0 {
+			buf[c] = col.dict[code]
+		} else {
+			buf[c] = value.Null
+		}
+	}
+	return buf
+}
+
+// Value returns the single attribute value at (row i, column col) without
+// materializing the tuple.
+func (t *Table) Value(i, col int) value.Value {
+	if t.columns != nil {
+		c := &t.columns[col]
+		if code := c.codes[i]; code >= 0 {
+			return c.dict[code]
+		}
+		return value.Null
+	}
+	return t.rows[i][col]
+}
 
 // ColIndex returns the column index of the named attribute.
 func (t *Table) ColIndex(name string) (int, bool) {
@@ -92,8 +186,8 @@ func (t *Table) colIndexes(attrs []string) ([]int, error) {
 	return idx, nil
 }
 
-// keyOf builds the composite grouping key of a row over the given columns.
-// hasNull reports whether any of the participating values is NULL.
+// keyOf builds the composite grouping key of a free-standing row over the
+// given columns. hasNull reports whether any participating value is NULL.
 func keyOf(row Row, idx []int) (key string, hasNull bool) {
 	var b strings.Builder
 	for _, c := range idx {
@@ -107,8 +201,40 @@ func keyOf(row Row, idx []int) (key string, hasNull bool) {
 	return b.String(), hasNull
 }
 
+// appendRowKey appends the composite grouping key of stored row i over
+// the resolved columns to b, stopping early on the first NULL. Both
+// engines produce identical bytes: the canonical value.AppendKey encoding
+// plus a 0x1f terminator per attribute.
+func (t *Table) appendRowKey(b []byte, i int, idx []int) (key []byte, hasNull bool) {
+	if t.columns != nil {
+		for _, c := range idx {
+			col := &t.columns[c]
+			code := col.codes[i]
+			if code < 0 {
+				return b, true
+			}
+			b = col.dict[code].AppendKey(b)
+			b = append(b, 0x1f)
+		}
+		return b, false
+	}
+	row := t.rows[i]
+	for _, c := range idx {
+		v := row[c]
+		if v.IsNull() {
+			return b, true
+		}
+		b = v.AppendKey(b)
+		b = append(b, 0x1f)
+	}
+	return b, false
+}
+
 // Insert appends a tuple after checking arity, types, NOT NULL and UNIQUE
-// constraints. Type checking coerces where value.Coerce allows it.
+// constraints. Type checking coerces where value.Coerce allows it. On the
+// columnar engine the row is dictionary-encoded only after every check
+// passed, so failed inserts never pollute the column dictionaries (the
+// single-attribute distinct count is the dictionary length).
 func (t *Table) Insert(row Row) error {
 	if len(row) != len(t.schema.Attrs) {
 		return fmt.Errorf("table %s: arity %d, want %d", t.schema.Name, len(row), len(t.schema.Attrs))
@@ -139,9 +265,13 @@ func (t *Table) Insert(row Row) error {
 		if prev, dup := t.uniq[ui][key]; dup {
 			return fmt.Errorf("table %s: UNIQUE(%v) violated by row %d", t.schema.Name, t.schema.Uniques[ui], prev)
 		}
-		t.uniq[ui][key] = len(t.rows)
+		t.uniq[ui][key] = t.Len()
 	}
-	t.rows = append(t.rows, stored)
+	if t.columns != nil {
+		t.appendEncoded(stored)
+	} else {
+		t.rows = append(t.rows, stored)
+	}
 	t.version++
 	return nil
 }
@@ -155,9 +285,14 @@ func (t *Table) MustInsert(row Row) {
 
 // InsertUnchecked appends a tuple without constraint enforcement. The
 // corruption injector uses it to plant integrity violations (the paper
-// explicitly copes with corrupted extensions).
+// explicitly copes with corrupted extensions). The row must match the
+// schema arity.
 func (t *Table) InsertUnchecked(row Row) {
-	t.rows = append(t.rows, row.Clone())
+	if t.columns != nil {
+		t.appendEncoded(row)
+	} else {
+		t.rows = append(t.rows, row.Clone())
+	}
 	t.version++
 }
 
@@ -168,24 +303,82 @@ func (t *Table) Project(attrs []string) ([][]value.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]value.Value, len(t.rows))
-	for i, row := range t.rows {
+	n := t.Len()
+	out := make([][]value.Value, n)
+	for i := 0; i < n; i++ {
 		vals := make([]value.Value, len(idx))
 		for j, c := range idx {
-			vals[j] = row[c]
+			vals[j] = t.Value(i, c)
 		}
 		out[i] = vals
 	}
 	return out, nil
 }
 
+// CountNonNull counts the tuples with no NULL among the given attributes
+// — the row base of uniqueness tests, FD supports and participation
+// analysis. On the columnar engine a single attribute is answered from
+// the column's running counter; multi-attribute counts scan only the code
+// vectors.
+func (t *Table) CountNonNull(attrs []string) (int, error) {
+	idx, err := t.colIndexes(attrs)
+	if err != nil {
+		return 0, err
+	}
+	if t.columns != nil {
+		if len(idx) == 1 {
+			return t.columns[idx[0]].nonNull, nil
+		}
+		n := 0
+	scan:
+		for i := 0; i < t.nrows; i++ {
+			for _, c := range idx {
+				if t.columns[c].codes[i] < 0 {
+					continue scan
+				}
+			}
+			n++
+		}
+		return n, nil
+	}
+	n := 0
+	for _, row := range t.rows {
+		ok := true
+		for _, c := range idx {
+			if row[c].IsNull() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
 // DistinctCount implements the paper's ‖r[X]‖: the number of distinct
 // (NULL-free) value combinations over the given attributes, i.e. SQL
 // "select count(distinct X) from R". Tuples with a NULL in X are skipped,
-// matching COUNT(DISTINCT) semantics.
+// matching COUNT(DISTINCT) semantics. On the columnar engine a single
+// attribute is answered in O(1) — the dictionary length — with no
+// allocation at all.
 func (t *Table) DistinctCount(attrs []string) (int, error) {
-	// Fast path for the overwhelmingly common case — a single integer
-	// attribute (keys and foreign keys) — avoiding string-key allocation.
+	if t.columns != nil {
+		if len(attrs) == 1 {
+			if c, ok := t.cols[attrs[0]]; ok {
+				return len(t.columns[c].dict), nil
+			}
+			return 0, fmt.Errorf("table %s: unknown attribute %q", t.schema.Name, attrs[0])
+		}
+		p, err := t.Projection(attrs)
+		if err != nil {
+			return 0, err
+		}
+		return p.Len(), nil
+	}
+	// Row-engine fast path for the overwhelmingly common case — a single
+	// integer attribute (keys and foreign keys) — avoiding string keys.
 	if len(attrs) == 1 {
 		if set, ok := t.intSet(attrs[0]); ok {
 			return len(set), nil
@@ -204,6 +397,17 @@ func (t *Table) intSet(attr string) (map[int64]struct{}, bool) {
 	col, ok := t.cols[attr]
 	if !ok {
 		return nil, false
+	}
+	if t.columns != nil {
+		c := &t.columns[col]
+		if c.nonInt {
+			return nil, false
+		}
+		set := make(map[int64]struct{}, len(c.dict))
+		for _, v := range c.dict {
+			set[v.Int()] = struct{}{}
+		}
+		return set, true
 	}
 	set := make(map[int64]struct{})
 	for _, row := range t.rows {
@@ -227,12 +431,15 @@ func (t *Table) DistinctSet(attrs []string) (map[string]struct{}, error) {
 		return nil, err
 	}
 	set := make(map[string]struct{})
-	for _, row := range t.rows {
-		key, hasNull := keyOf(row, idx)
+	var scratch []byte
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		key, hasNull := t.appendRowKey(scratch[:0], i, idx)
+		scratch = key
 		if hasNull {
 			continue
 		}
-		set[key] = struct{}{}
+		set[string(key)] = struct{}{}
 	}
 	return set, nil
 }
@@ -255,25 +462,17 @@ func (t *Table) GroupRows(attrs []string) (map[string][]int32, error) {
 	index := make(map[string]int32)
 	var slices [][]int32
 	var scratch []byte
-	for i, row := range t.rows {
-		scratch = scratch[:0]
-		hasNull := false
-		for _, c := range idx {
-			v := row[c]
-			if v.IsNull() {
-				hasNull = true
-				break
-			}
-			scratch = v.AppendKey(scratch)
-			scratch = append(scratch, 0x1f)
-		}
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		key, hasNull := t.appendRowKey(scratch[:0], i, idx)
+		scratch = key
 		if hasNull {
 			continue
 		}
-		id, ok := index[string(scratch)]
+		id, ok := index[string(key)]
 		if !ok {
 			id = int32(len(slices))
-			index[string(scratch)] = id
+			index[string(key)] = id
 			slices = append(slices, nil)
 		}
 		slices[id] = append(slices[id], int32(i))
@@ -292,30 +491,58 @@ func (t *Table) GroupRows(attrs []string) (map[string][]int32, error) {
 // the stats cache memoizes this representation — Len is the paper's
 // ‖r[X]‖, the dictionary answers join and containment queries, and
 // RowGroup drives the FD checks.
+//
+// On the columnar engine the dictionary is derived lazily (see
+// columnar.go): counting consumers never pay for it. Group ids are
+// bit-identical between engines — dense, in first-occurrence row order,
+// -1 for rows with a NULL among the attributes.
 type Projection struct {
-	Strs     map[string]int32 // distinct key → group id; nil when Ints is used
-	Ints     map[int64]int32  // single-integer-attribute fast path; nil when Strs is used
-	RowGroup []int32          // row index → group id, -1 for rows with a NULL among the attributes
-	NonNull  int              // rows with no NULL among the attributes
+	RowGroup []int32 // row index → group id, -1 for NULL rows
+	NonNull  int     // rows with no NULL among the attributes
+
+	groups int // number of distinct groups
+	// Exactly one dictionary flavor is populated (possibly lazily):
+	// ints for a single all-integer attribute, strs otherwise.
+	strs map[string]int32
+	ints map[int64]int32
+	lazy *lazyDict // non-nil on the columnar engine
 }
 
 // Len returns the number of distinct groups — the paper's ‖r[X]‖.
-func (p *Projection) Len() int {
-	if p.Ints != nil {
-		return len(p.Ints)
+func (p *Projection) Len() int { return p.groups }
+
+// IntDict returns the int64 → group-id dictionary, or nil when the
+// projection is not int-flavored (multi-attribute, or a column holding
+// non-integer values). The caller must treat it as read-only.
+func (p *Projection) IntDict() map[int64]int32 {
+	if p.lazy != nil && p.lazy.intFlavor {
+		p.buildLazy()
 	}
-	return len(p.Strs)
+	return p.ints
 }
 
-// Projection builds the projection index over attrs. A single integer
-// attribute — keys and foreign keys, the overwhelmingly common case — is
-// indexed by its raw int64 values with no key-string allocation at all;
-// everything else uses the canonical composite-key encoding shared with
-// DistinctSet and GroupRows.
+// StrDict returns the canonical composite-key → group-id dictionary, or
+// nil when the projection is int-flavored. The caller must treat it as
+// read-only.
+func (p *Projection) StrDict() map[string]int32 {
+	if p.lazy != nil && !p.lazy.intFlavor {
+		p.buildLazy()
+	}
+	return p.strs
+}
+
+// Projection builds the projection index over attrs. On the columnar
+// engine this is pure integer arithmetic over the code vectors (see
+// columnarProjection); on the row engine a single integer attribute is
+// indexed by its raw int64 values and everything else uses the canonical
+// composite-key encoding shared with DistinctSet and GroupRows.
 func (t *Table) Projection(attrs []string) (*Projection, error) {
 	idx, err := t.colIndexes(attrs)
 	if err != nil {
 		return nil, err
+	}
+	if t.columns != nil {
+		return t.columnarProjection(idx), nil
 	}
 	p := &Projection{RowGroup: make([]int32, len(t.rows))}
 	if len(idx) == 1 && t.intProjection(idx[0], p) {
@@ -348,7 +575,8 @@ func (t *Table) Projection(attrs []string) (*Projection, error) {
 		p.RowGroup[i] = id
 		p.NonNull++
 	}
-	p.Strs = index
+	p.strs = index
+	p.groups = len(index)
 	return p, nil
 }
 
@@ -373,7 +601,8 @@ func (t *Table) intProjection(col int, p *Projection) bool {
 		p.RowGroup[i] = id
 		p.NonNull++
 	}
-	p.Ints = index
+	p.ints = index
+	p.groups = len(index)
 	return true
 }
 
@@ -386,18 +615,21 @@ func (t *Table) DistinctRows(attrs []string) ([][]value.Value, error) {
 	}
 	seen := make(map[string]struct{})
 	var out [][]value.Value
-	for _, row := range t.rows {
-		key, hasNull := keyOf(row, idx)
+	var scratch []byte
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		key, hasNull := t.appendRowKey(scratch[:0], i, idx)
+		scratch = key
 		if hasNull {
 			continue
 		}
-		if _, dup := seen[key]; dup {
+		if _, dup := seen[string(key)]; dup {
 			continue
 		}
-		seen[key] = struct{}{}
+		seen[string(key)] = struct{}{}
 		vals := make([]value.Value, len(idx))
 		for j, c := range idx {
-			vals[j] = row[c]
+			vals[j] = t.Value(i, c)
 		}
 		out = append(out, vals)
 	}
@@ -462,7 +694,7 @@ func JoinDistinctCount(tk *Table, ak []string, tl *Table, al []string) (int, err
 // ContainedIn reports whether the distinct projection of t over attrs is a
 // subset of the distinct projection of other over otherAttrs, i.e. whether
 // the inclusion dependency t[attrs] ≪ other[otherAttrs] is satisfied by the
-// extension. Counterexample returns one violating combination when not.
+// extension.
 func ContainedIn(t *Table, attrs []string, other *Table, otherAttrs []string) (bool, error) {
 	if len(attrs) != len(otherAttrs) {
 		return false, fmt.Errorf("table: inclusion arity mismatch: %v vs %v", attrs, otherAttrs)
@@ -500,30 +732,40 @@ func EquiJoinRows(tk *Table, ak []string, tl *Table, al []string) ([][2]int, err
 		return nil, err
 	}
 	build := make(map[string][]int)
-	for i, row := range tl.rows {
-		key, hasNull := keyOf(row, idxL)
+	var scratch []byte
+	for i, n := 0, tl.Len(); i < n; i++ {
+		key, hasNull := tl.appendRowKey(scratch[:0], i, idxL)
+		scratch = key
 		if hasNull {
 			continue
 		}
-		build[key] = append(build[key], i)
+		build[string(key)] = append(build[string(key)], i)
 	}
 	var out [][2]int
-	for i, row := range tk.rows {
-		key, hasNull := keyOf(row, idxK)
+	for i, n := 0, tk.Len(); i < n; i++ {
+		key, hasNull := tk.appendRowKey(scratch[:0], i, idxK)
+		scratch = key
 		if hasNull {
 			continue
 		}
-		for _, j := range build[key] {
+		for _, j := range build[string(key)] {
 			out = append(out, [2]int{i, j})
 		}
 	}
 	return out, nil
 }
 
-// Filter returns the indexes of rows for which pred is true.
+// Filter returns the indexes of rows for which pred is true. The row
+// passed to pred is only valid for the duration of the call.
 func (t *Table) Filter(pred func(Row) bool) []int {
 	var out []int
-	for i, row := range t.rows {
+	var buf Row
+	n := t.Len()
+	for i := 0; i < n; i++ {
+		row := t.ReadRow(i, buf)
+		if t.columns != nil {
+			buf = row
+		}
 		if pred(row) {
 			out = append(out, i)
 		}
@@ -534,8 +776,15 @@ func (t *Table) Filter(pred func(Row) bool) []int {
 // SortedRows returns all rows sorted by the full tuple order; it does not
 // modify the table. Used for deterministic rendering.
 func (t *Table) SortedRows() []Row {
-	out := make([]Row, len(t.rows))
-	copy(out, t.rows)
+	n := t.Len()
+	out := make([]Row, n)
+	if t.columns != nil {
+		for i := 0; i < n; i++ {
+			out[i] = t.ReadRow(i, nil)
+		}
+	} else {
+		copy(out, t.rows)
+	}
 	sort.Slice(out, func(i, j int) bool { return compareRows(out[i], out[j]) < 0 })
 	return out
 }
@@ -548,16 +797,19 @@ func (t *Table) CheckUnique(u relation.AttrSet) (ok bool, rowA, rowB int, err er
 	if err != nil {
 		return false, 0, 0, err
 	}
-	seen := make(map[string]int, len(t.rows))
-	for i, row := range t.rows {
-		key, hasNull := keyOf(row, idx)
+	n := t.Len()
+	seen := make(map[string]int, n)
+	var scratch []byte
+	for i := 0; i < n; i++ {
+		key, hasNull := t.appendRowKey(scratch[:0], i, idx)
+		scratch = key
 		if hasNull {
 			continue
 		}
-		if prev, dup := seen[key]; dup {
+		if prev, dup := seen[string(key)]; dup {
 			return false, prev, i, nil
 		}
-		seen[key] = i
+		seen[string(key)] = i
 	}
 	return true, 0, 0, nil
 }
@@ -567,16 +819,27 @@ func (t *Table) CheckUnique(u relation.AttrSet) (ok bool, rowA, rowB int, err er
 type Database struct {
 	catalog *relation.Catalog
 	tables  map[string]*Table
+	engine  Engine
 }
 
-// NewDatabase creates a database with an empty table per catalog relation.
+// NewDatabase creates a database with an empty table per catalog relation
+// on the default (columnar) engine.
 func NewDatabase(catalog *relation.Catalog) *Database {
-	db := &Database{catalog: catalog, tables: make(map[string]*Table, catalog.Len())}
+	return NewDatabaseWith(catalog, EngineColumnar)
+}
+
+// NewDatabaseWith is NewDatabase on the chosen engine; relations added
+// later (AddRelation, ReplaceRelation) inherit it.
+func NewDatabaseWith(catalog *relation.Catalog, engine Engine) *Database {
+	db := &Database{catalog: catalog, tables: make(map[string]*Table, catalog.Len()), engine: engine}
 	for _, s := range catalog.Schemas() {
-		db.tables[s.Name] = New(s)
+		db.tables[s.Name] = NewWithEngine(s, engine)
 	}
 	return db
 }
+
+// Engine reports the backing store new relations are created on.
+func (db *Database) Engine() Engine { return db.engine }
 
 // Catalog returns the database's catalog.
 func (db *Database) Catalog() *relation.Catalog { return db.catalog }
@@ -602,14 +865,16 @@ func (db *Database) AddRelation(s *relation.Schema) error {
 	if err := db.catalog.Add(s); err != nil {
 		return err
 	}
-	db.tables[s.Name] = New(s)
+	db.tables[s.Name] = NewWithEngine(s, db.engine)
 	return nil
 }
 
 // ReplaceRelation swaps the schema registered under s.Name (keeping its
-// catalog position) and installs a fresh empty table. The previous table is
-// returned so callers can migrate its data — the Restruct algorithm uses
-// this when splitting attributes out of a relation.
+// catalog position) and installs a fresh empty table on the database's
+// engine — migrated rows are re-encoded by Insert as they arrive. The
+// previous table is returned so callers can migrate its data; the
+// Restruct algorithm uses this when splitting attributes out of a
+// relation.
 func (db *Database) ReplaceRelation(s *relation.Schema) (*Table, error) {
 	old, ok := db.tables[s.Name]
 	if !ok {
@@ -618,7 +883,7 @@ func (db *Database) ReplaceRelation(s *relation.Schema) (*Table, error) {
 	if err := db.catalog.Replace(s); err != nil {
 		return nil, err
 	}
-	db.tables[s.Name] = New(s)
+	db.tables[s.Name] = NewWithEngine(s, db.engine)
 	return old, nil
 }
 

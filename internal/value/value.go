@@ -5,6 +5,7 @@
 package value
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"strconv"
@@ -282,6 +283,13 @@ func (v Value) SQL() string {
 // AppendKey appends the Key() encoding of v to b without allocating a
 // string — the hot loop of the projection-index build calls it once per
 // row, so per-value garbage matters.
+//
+// The encoding is self-delimiting: every variant is a kind byte followed
+// by a payload that cannot run into a following key. Numeric payloads use
+// a fixed alphabet that excludes every separator byte, and string payloads
+// are uvarint length-prefixed, so concatenations of keys (the composite
+// group keys of internal/table) are unambiguous even when string values
+// contain separator bytes or whole encoded keys.
 func (v Value) AppendKey(b []byte) []byte {
 	switch v.kind {
 	case KindNull:
@@ -291,7 +299,9 @@ func (v Value) AppendKey(b []byte) []byte {
 	case KindFloat:
 		return strconv.AppendUint(append(b, 'f'), math.Float64bits(v.f), 16)
 	case KindString:
-		return append(append(b, 's'), v.s...)
+		b = append(b, 's')
+		b = binary.AppendUvarint(b, uint64(len(v.s)))
+		return append(b, v.s...)
 	case KindBool:
 		return strconv.AppendInt(append(b, 'b'), v.i, 10)
 	case KindDate:
@@ -302,7 +312,9 @@ func (v Value) AppendKey(b []byte) []byte {
 }
 
 // Key returns a compact string usable as a map key; distinct values have
-// distinct keys within a kind. It is faster than SQL() and unambiguous.
+// distinct keys. It is exactly string(v.AppendKey(nil)) — the two
+// encodings must stay byte-identical because composite keys built from
+// either are compared against each other across the engine.
 func (v Value) Key() string {
 	switch v.kind {
 	case KindNull:
@@ -312,7 +324,7 @@ func (v Value) Key() string {
 	case KindFloat:
 		return "f" + strconv.FormatUint(math.Float64bits(v.f), 16)
 	case KindString:
-		return "s" + v.s
+		return string(v.AppendKey(make([]byte, 0, len(v.s)+11)))
 	case KindBool:
 		return "b" + strconv.FormatInt(v.i, 10)
 	case KindDate:

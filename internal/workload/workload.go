@@ -50,6 +50,11 @@ type Spec struct {
 	// so their links become k-ary equi-joins and k-ary inclusion
 	// dependencies throughout the pipeline.
 	CompositeDims int
+	// RowEngine stores the generated extension on the row-store engine
+	// instead of the default columnar one. The extension contents are
+	// identical either way; the differential harness uses this to prove
+	// the two engines agree on every pipeline.
+	RowEngine bool
 }
 
 // DefaultSpec returns a medium-sized workload.
@@ -243,7 +248,11 @@ func Generate(spec Spec) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.DB = table.NewDatabase(cat)
+	engine := table.EngineColumnar
+	if spec.RowEngine {
+		engine = table.EngineRow
+	}
+	w.DB = table.NewDatabaseWith(cat, engine)
 
 	// 3. Populate the extension.
 	dimRows := make([][]table.Row, spec.Dimensions)

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: vet, build, race-enabled tests, and a short fuzz smoke
+# of the two parser-facing fuzz targets. Run from the repository root;
+# the GitHub Actions workflow (.github/workflows/ci.yml) invokes exactly
+# this script so local runs reproduce CI bit for bit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> fuzz smoke: FuzzLoadSQL (${FUZZTIME})"
+go test -run=^$ -fuzz='^FuzzLoadSQL$' -fuzztime="${FUZZTIME}" ./internal/sql/exec
+
+echo "==> fuzz smoke: FuzzScanSource (${FUZZTIME})"
+go test -run=^$ -fuzz='^FuzzScanSource$' -fuzztime="${FUZZTIME}" ./internal/appscan
+
+echo "==> ci.sh: all green"
