@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -29,6 +32,7 @@ import (
 	"dbre/internal/expert"
 	"dbre/internal/fd"
 	"dbre/internal/ind"
+	"dbre/internal/obs"
 	"dbre/internal/paperex"
 	"dbre/internal/relation"
 	"dbre/internal/stats"
@@ -81,6 +85,7 @@ func registry() []experiment {
 		{"B8", "Restruct+Translate cost vs dependency count", runB8},
 		{"B9", "column-statistics cache: uncached vs cached counting kernels", runB9},
 		{"B10", "storage engines: row store vs columnar dictionary encoding", runB10},
+		{"B11", "observability layer: tracing overhead, disabled-path allocations", runB11},
 		{"A1", "ablation: transitive equality closure on/off", runA1},
 		{"A2", "ablation: auto-expert inclusion slack sweep on dirty data", runA2},
 		{"A3", "ablation: key inference on keyless dictionaries", runA3},
@@ -92,6 +97,8 @@ func main() {
 	runList := fs.String("run", "all", "comma-separated experiment ids, or all")
 	list := fs.Bool("list", false, "list experiments and exit")
 	jsonPath := fs.String("json", "", "also write results as JSON to this file")
+	tracePath := fs.String("trace", "", "write a JSON execution trace (one span per experiment) to this file")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address while experiments run")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -101,6 +108,23 @@ func main() {
 			fmt.Printf("%-3s %s\n", e.id, e.title)
 		}
 		return
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" || *debugAddr != "" {
+		tracer = obs.NewTracer("bench")
+	}
+	if *debugAddr != "" {
+		obs.Publish("bench.obs", tracer)
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-debug-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: obs.DebugMux()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/debug/vars and /debug/pprof/\n", ln.Addr())
 	}
 	want := map[string]bool{}
 	all := *runList == "all"
@@ -116,11 +140,13 @@ func main() {
 		ran++
 		fmt.Printf("\n=== %s: %s ===\n", e.id, e.title)
 		curMetrics = map[string]float64{}
+		sp := tracer.Root().StartChild(e.id)
 		start := time.Now()
 		if err := e.run(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		sp.End()
 		wall := time.Since(start)
 		fmt.Printf("--- %s done in %v ---\n", e.id, wall.Round(time.Millisecond))
 		results = append(results, jsonResult{
@@ -132,6 +158,20 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments matched; use -list")
 		os.Exit(2)
+	}
+	if *tracePath != "" {
+		tracer.Finish()
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\ntrace written to %s\n", *tracePath)
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(results, "", "  ")
@@ -783,6 +823,90 @@ func runB10(w io.Writer) error {
 	record("columnar_rhs_ms", float64(colRes.wall.Microseconds())/1000)
 	record("row_alloc_mb", float64(rowRes.alloced)/1e6)
 	record("columnar_alloc_mb", float64(colRes.alloced)/1e6)
+	return nil
+}
+
+// runB11 measures the cost of the observability layer on the B10 workload
+// (100k fact tuples, composite-key dimensions, heavy embedding): best-of-3
+// RHS-Discovery wall time with tracing disabled (plain context) vs enabled
+// (tracer in the context plus counters on the statistics cache), and the
+// allocation count of the disabled instrumentation path, which must be
+// zero — the layer's contract, also pinned by internal/obs/alloc_test.go.
+func runB11(w io.Writer) error {
+	spec := workload.DefaultSpec(42)
+	spec.FactRows = 25000 // 4 fact relations ⇒ 100k fact tuples
+	spec.CompositeDims = 3
+	spec.EmbedProb = 0.9
+	wl := mustWorkload(spec)
+	var lhs []relation.Ref
+	for _, l := range wl.Truth.Links {
+		lhs = append(lhs, relation.NewRef(l.Fact, l.FKs...))
+	}
+	bestOf := func(traced bool) (time.Duration, int, error) {
+		var best time.Duration
+		fds := 0
+		for i := 0; i < 3; i++ {
+			ctx := context.Background()
+			cache := stats.NewCache(wl.DB)
+			if traced {
+				tr := obs.NewTracer("b11")
+				ctx = obs.NewContext(ctx, tr)
+				cache.SetTracer(tr)
+			}
+			start := time.Now()
+			out, err := fd.DiscoverRHSOptsCtx(ctx, wl.DB, lhs, nil, expert.Deny{}, fd.Opts{Stats: cache})
+			if err != nil {
+				return 0, 0, err
+			}
+			if wall := time.Since(start); best == 0 || wall < best {
+				best = wall
+			}
+			fds = len(out.FDs)
+		}
+		return best, fds, nil
+	}
+	offWall, offFDs, err := bestOf(false)
+	if err != nil {
+		return err
+	}
+	onWall, onFDs, err := bestOf(true)
+	if err != nil {
+		return err
+	}
+	if offFDs != onFDs {
+		return fmt.Errorf("B11: tracing changed the result: %d vs %d FDs", offFDs, onFDs)
+	}
+	overhead := (float64(onWall)/float64(offWall) - 1) * 100
+
+	// Disabled-path allocations: a hot loop of no-op spans and guarded
+	// counter increments on an untraced context.
+	const ops = 100000
+	ctx := context.Background()
+	var nilTracer *obs.Tracer
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	m0 := m.Mallocs
+	for i := 0; i < ops; i++ {
+		sctx, sp := obs.StartSpan(ctx, "noop")
+		_, child := obs.StartSpan(sctx, "noop-child")
+		child.SetInt("i", int64(i))
+		child.End()
+		sp.End()
+		nilTracer.Add(obs.CtrFDChecks, 1)
+	}
+	runtime.ReadMemStats(&m)
+	allocsPerOp := float64(m.Mallocs-m0) / ops
+
+	printTable(w, []string{"mode", "RHS wall (best of 3)", "FDs"}, [][]string{
+		{"tracing disabled", offWall.Round(time.Microsecond).String(), fmt.Sprint(offFDs)},
+		{"tracing enabled", onWall.Round(time.Microsecond).String(), fmt.Sprint(onFDs)},
+	})
+	fmt.Fprintf(w, "  enabled-tracing overhead %.2f%% (target < 2%%)\n", overhead)
+	fmt.Fprintf(w, "  disabled-path instrumentation: %.4f allocs/op over %d ops (target 0)\n", allocsPerOp, ops)
+	record("untraced_ms", float64(offWall.Microseconds())/1000)
+	record("traced_ms", float64(onWall.Microseconds())/1000)
+	record("overhead_pct", overhead)
+	record("disabled_allocs_per_op", allocsPerOp)
 	return nil
 }
 

@@ -9,19 +9,31 @@
 //	dbre -schema legacy.sql [-data dir] [-programs dir]
 //	     [-expert auto|interactive|deny] [-format text|dot]
 //	     [-out-data dir] [-no-closure]
+//	     [-trace out.json] [-debug-addr localhost:6060]
 //
 // With -expert interactive the paper's expert-user dialogue runs on the
 // terminal; auto applies the default trust-the-extension policy.
+//
+// -trace records an execution trace — one span per pipeline phase with
+// nested algorithm sub-spans plus the counter inventory — appends its
+// rendering to the report and writes it as versioned JSON (schema in
+// DESIGN.md §5). -debug-addr serves expvar (/debug/vars, including the
+// live trace under "dbre.obs") and net/http/pprof (/debug/pprof/) for the
+// duration of the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 
 	"dbre"
 	"dbre/internal/expert"
+	"dbre/internal/obs"
 )
 
 func main() {
@@ -45,12 +57,33 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 0, "IND-Discovery counting workers (0 = serial; results identical)")
 	slack := fs.Float64("slack", 0.98, "auto expert: near-inclusion forcing threshold")
 	tolerate := fs.Float64("tolerate", 0, "auto expert: max FD violation rate still enforced")
+	tracePath := fs.String("trace", "", "write a JSON execution trace (spans + counters) to this file")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *schema == "" {
 		fs.Usage()
 		return fmt.Errorf("-schema is required")
+	}
+
+	ctx := context.Background()
+	var tracer *dbre.Tracer
+	if *tracePath != "" || *debugAddr != "" {
+		tracer = dbre.NewTracer("dbre")
+		ctx = dbre.WithTracer(ctx, tracer)
+	}
+	if *debugAddr != "" {
+		obs.Publish("dbre.obs", tracer)
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: obs.DebugMux()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(out, "debug server on http://%s/debug/vars and /debug/pprof/\n", ln.Addr())
 	}
 
 	db, err := dbre.LoadSQLFile(*schema)
@@ -91,24 +124,25 @@ func run(args []string, out io.Writer) error {
 	}
 	var report *dbre.Report
 	if *programs != "" {
-		q, scan, err := dbre.ScanProgramsDir(db, *programs)
+		q, scan, err := dbre.ScanProgramsDirContext(ctx, db, *programs)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "programs: files=%d parsed=%d failures=%d, |Q|=%d\n",
 			scan.FilesScanned, scan.StatementsFound, scan.ParseFailures, q.Len())
-		report, err = dbre.ReverseWithQ(db, q, opts)
+		report, err = dbre.ReverseWithQContext(ctx, db, q, opts)
 		if err != nil {
 			return err
 		}
 		report.Scan = *scan
 	} else {
 		fmt.Fprintln(out, "note: no -programs directory; Q is empty and only K/N are usable")
-		report, err = dbre.Reverse(db, nil, opts)
+		report, err = dbre.ReverseContext(ctx, db, nil, opts)
 		if err != nil {
 			return err
 		}
 	}
+	tracer.Finish()
 
 	switch *format {
 	case "text":
@@ -141,6 +175,20 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "restructured schema written to %s\n", *outSchema)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s\n", *tracePath)
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"dbre"
+	"dbre/internal/core"
+	"dbre/internal/obs"
 	"dbre/internal/paperex"
 )
 
@@ -130,5 +132,70 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogus-flag"}, &out); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestTraceFlag runs the full pipeline with -trace and validates the
+// emitted JSON: current schema version, a root span covering every
+// pipeline phase, and non-zero counters — plus the "Trace" section of the
+// text report.
+func TestTraceFlag(t *testing.T) {
+	dir := fixtureDir(t)
+	tracePath := filepath.Join(dir, "out.json")
+	var out strings.Builder
+	err := run([]string{
+		"-schema", filepath.Join(dir, "schema.sql"),
+		"-data", filepath.Join(dir, "data"),
+		"-programs", filepath.Join(dir, "programs"),
+		"-trace", tracePath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\nTrace\n") {
+		t.Error("report lacks the Trace section")
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := obs.Parse(data)
+	if err != nil {
+		t.Fatalf("emitted trace does not parse: %v", err)
+	}
+	if trace.Version != obs.SchemaVersion {
+		t.Errorf("trace version = %d, want %d", trace.Version, obs.SchemaVersion)
+	}
+	names := make(map[string]bool)
+	for _, n := range trace.Root.SpanNames() {
+		names[n] = true
+	}
+	for _, phase := range core.PhaseOrder {
+		if !names[phase] {
+			t.Errorf("trace misses pipeline phase %q (have %v)", phase, trace.Root.SpanNames())
+		}
+	}
+	if trace.Counters["inds-tested"] == 0 || trace.Counters["fd-checks"] == 0 {
+		t.Errorf("trace counters empty: %v", trace.Counters)
+	}
+}
+
+// TestDebugAddrFlag starts the expvar/pprof server on a loopback port
+// (the run tears it down on exit) and checks the address is announced and
+// the run still completes normally.
+func TestDebugAddrFlag(t *testing.T) {
+	dir := fixtureDir(t)
+	var out strings.Builder
+	err := run([]string{
+		"-schema", filepath.Join(dir, "schema.sql"),
+		"-data", filepath.Join(dir, "data"),
+		"-programs", filepath.Join(dir, "programs"),
+		"-debug-addr", "127.0.0.1:0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "debug server on http://") {
+		t.Errorf("debug server address not announced:\n%s", out.String())
 	}
 }

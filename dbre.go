@@ -33,6 +33,7 @@
 package dbre
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -43,6 +44,7 @@ import (
 	"dbre/internal/deps"
 	"dbre/internal/eer"
 	"dbre/internal/expert"
+	"dbre/internal/obs"
 	"dbre/internal/relation"
 	"dbre/internal/restruct"
 	"dbre/internal/sql/exec"
@@ -81,7 +83,24 @@ type (
 	EERSchema = eer.Schema
 	// ScanReport aggregates program-scanning statistics.
 	ScanReport = appscan.Report
+	// Tracer observes a pipeline run: hierarchical phase spans plus the
+	// typed counter inventory (rows scanned, cache hits, INDs tested, ...).
+	// Install one with WithTracer; read it back from Report.Trace, render
+	// it with Render, or export it with WriteJSON.
+	Tracer = obs.Tracer
 )
+
+// NewTracer creates a tracer whose root span carries the given name.
+// Call Finish when the traced work is done, then Render or WriteJSON.
+func NewTracer(name string) *Tracer { return obs.NewTracer(name) }
+
+// WithTracer installs a tracer into the context so ReverseContext (and
+// every instrumented phase beneath it) records spans and counters into it.
+// A nil tracer returns ctx unchanged, keeping the run untraced at zero
+// cost.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return obs.NewContext(ctx, t)
+}
 
 // DefaultOptions returns the paper's setting with an automatic expert.
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -136,12 +155,25 @@ func StoreCSVDir(db *Database, dir string) error {
 // ScanProgramsDir walks a directory of application programs (.sql, .cob,
 // .c, ...) and extracts the equi-join set Q against the database's catalog.
 func ScanProgramsDir(db *Database, dir string) (*JoinSet, *ScanReport, error) {
+	return ScanProgramsDirContext(context.Background(), db, dir)
+}
+
+// ScanProgramsDirContext is ScanProgramsDir with observability threaded
+// through the context: with a tracer installed (WithTracer) the walk
+// becomes a "scan" span with one "scan-file" child per program, matching
+// the phase ReverseContext would record had the programs been passed to
+// it directly.
+func ScanProgramsDirContext(ctx context.Context, db *Database, dir string) (*JoinSet, *ScanReport, error) {
+	sctx, sp := obs.StartSpan(ctx, "scan")
+	defer sp.End()
 	var rep ScanReport
-	snippets, err := appscan.ScanDir(dir, &rep)
+	snippets, err := appscan.ScanDirCtx(sctx, dir, &rep)
 	if err != nil {
 		return nil, &rep, err
 	}
 	q := appscan.NewExtractor(db.Catalog()).ExtractQ(snippets)
+	sp.SetInt("files", int64(rep.FilesScanned))
+	sp.SetInt("joins", int64(q.Len()))
 	return q, &rep, nil
 }
 
@@ -164,10 +196,25 @@ func Reverse(db *Database, programs map[string]string, opts Options) (*Report, e
 	return core.Run(db, programs, opts)
 }
 
+// ReverseContext is Reverse with observability threaded through the
+// context: install a tracer with WithTracer to record one span per
+// pipeline phase, nested algorithm sub-spans and the counter inventory;
+// the finished tracer is echoed in Report.Trace. A plain context behaves
+// exactly like Reverse.
+func ReverseContext(ctx context.Context, db *Database, programs map[string]string, opts Options) (*Report, error) {
+	return core.RunContext(ctx, db, programs, opts)
+}
+
 // ReverseWithQ runs the pipeline with a pre-extracted join set, matching
 // the paper's assumption that Q "has been computed".
 func ReverseWithQ(db *Database, q *JoinSet, opts Options) (*Report, error) {
 	return core.RunWithQ(db, q, opts, nil)
+}
+
+// ReverseWithQContext is ReverseWithQ with observability threaded through
+// the context; see ReverseContext.
+func ReverseWithQContext(ctx context.Context, db *Database, q *JoinSet, opts Options) (*Report, error) {
+	return core.RunWithQContext(ctx, db, q, opts, nil)
 }
 
 // ExportDDL renders a restructured database and its referential integrity

@@ -12,12 +12,14 @@
 package appscan
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"dbre/internal/obs"
 	"dbre/internal/sql/ast"
 	"dbre/internal/sql/parser"
 )
@@ -101,12 +103,38 @@ func DetectLanguage(name, content string) Language {
 
 // ScanSource extracts the SQL statements embedded in one program source.
 func ScanSource(name, content string, rep *Report) []Snippet {
+	return ScanSourceCtx(context.Background(), name, content, rep)
+}
+
+// ScanSourceCtx is ScanSource with observability threaded through the
+// context: when a tracer is installed, each scanned source becomes a
+// "scan-file" child span carrying the file name, detected language and
+// statement count. Untraced contexts cost nothing.
+func ScanSourceCtx(ctx context.Context, name, content string, rep *Report) []Snippet {
+	_, sp := obs.StartSpan(ctx, "scan-file")
+	sp.SetAttr("file", filepath.Base(name))
+	before := 0
+	if rep != nil {
+		before = rep.StatementsFound
+	}
+	out := scanSource(name, content, rep, sp)
+	if rep != nil {
+		sp.SetInt("stmts", int64(rep.StatementsFound-before))
+	} else {
+		sp.SetInt("stmts", int64(len(out)))
+	}
+	sp.End()
+	return out
+}
+
+func scanSource(name, content string, rep *Report, sp *obs.Span) []Snippet {
 	if rep == nil {
 		rep = &Report{}
 	}
 	rep.FilesScanned++
 	rep.BytesScanned += int64(len(content))
 	lang := DetectLanguage(name, content)
+	sp.SetAttr("lang", lang.String())
 	var candidates []candidate
 	switch lang {
 	case LangSQL:
@@ -142,16 +170,27 @@ func ScanSource(name, content string, rep *Report) []Snippet {
 
 // ScanFile reads and scans one program file.
 func ScanFile(path string, rep *Report) ([]Snippet, error) {
+	return ScanFileCtx(context.Background(), path, rep)
+}
+
+// ScanFileCtx is ScanFile with observability threaded through the context.
+func ScanFileCtx(ctx context.Context, path string, rep *Report) ([]Snippet, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return ScanSource(path, string(data), rep), nil
+	return ScanSourceCtx(ctx, path, string(data), rep), nil
 }
 
 // ScanDir walks dir recursively and scans every regular file with a known
 // program extension (and .txt/.src as unknown-language fallbacks).
 func ScanDir(dir string, rep *Report) ([]Snippet, error) {
+	return ScanDirCtx(context.Background(), dir, rep)
+}
+
+// ScanDirCtx is ScanDir with observability threaded through the context:
+// each scanned file becomes a "scan-file" child span of the current span.
+func ScanDirCtx(ctx context.Context, dir string, rep *Report) ([]Snippet, error) {
 	var out []Snippet
 	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil {
@@ -165,7 +204,7 @@ func ScanDir(dir string, rep *Report) ([]Snippet, error) {
 		default:
 			return nil
 		}
-		sn, err := ScanFile(path, rep)
+		sn, err := ScanFileCtx(ctx, path, rep)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,11 +21,26 @@ import (
 	"dbre/internal/expert"
 	"dbre/internal/fd"
 	"dbre/internal/ind"
+	"dbre/internal/obs"
 	"dbre/internal/relation"
 	"dbre/internal/restruct"
 	"dbre/internal/stats"
 	"dbre/internal/table"
 )
+
+// PhaseOrder is the canonical order of the pipeline phases, as they
+// execute. Report.Text renders the Timings section in this order, and the
+// JSON trace emitted by cmd/dbre contains one top-level span per phase
+// that ran, under these names.
+var PhaseOrder = []string{
+	"scan",
+	"constraints",
+	"ind-discovery",
+	"lhs-discovery",
+	"rhs-discovery",
+	"restruct",
+	"translate",
+}
 
 // Options configures a pipeline run.
 type Options struct {
@@ -84,8 +100,15 @@ type Report struct {
 	EER *eer.Schema
 	// Timings records the wall-clock duration of each phase. Writers must
 	// go through RecordTiming, which guards the map for concurrent use;
-	// reading the field directly is safe once the run has returned.
+	// reading the field directly is safe once the run has returned. When
+	// the run is traced (RunContext with an obs tracer in the context) the
+	// durations are derived from the phase spans, so this map is a
+	// compatibility view over the trace.
 	Timings map[string]time.Duration
+	// Trace is the tracer that observed the run, when one was installed in
+	// the context (obs.NewContext); nil on untraced runs. Report.Text
+	// appends its rendering as a "Trace" section.
+	Trace *obs.Tracer
 
 	timingsMu sync.Mutex
 }
@@ -100,14 +123,42 @@ func (r *Report) RecordTiming(phase string, d time.Duration) {
 	r.Timings[phase] = d
 }
 
+// startPhase opens one top-level phase span and returns the phase context
+// plus a closer that ends the span and records the phase timing. On traced
+// runs the timing is derived from the span itself, so the Timings map and
+// the trace cannot disagree; untraced runs fall back to a direct clock
+// reading and allocate nothing in obs.
+func startPhase(ctx context.Context, rep *Report, name string) (context.Context, func()) {
+	pctx, sp := obs.StartSpan(ctx, name)
+	start := time.Now()
+	return pctx, func() {
+		sp.End()
+		d := sp.Duration()
+		if sp == nil {
+			d = time.Since(start)
+		}
+		rep.RecordTiming(name, d)
+	}
+}
+
 // Run executes the pipeline over a database in operation and its
 // application programs (file name → source text). The database is modified
 // in place: NEI relations, hidden objects and FD splits are added, split
 // attributes are removed, data is migrated.
 func Run(db *table.Database, programs map[string]string, opts Options) (*Report, error) {
+	return RunContext(context.Background(), db, programs, opts)
+}
+
+// RunContext is Run with observability threaded through the context.
+// Install a tracer with obs.NewContext to get one top-level span per
+// pipeline phase (PhaseOrder), nested sub-spans inside the discovery
+// algorithms, and the counter inventory of the run; the finished tracer is
+// echoed in Report.Trace. A plain context runs exactly like Run, with no
+// tracing overhead.
+func RunContext(ctx context.Context, db *table.Database, programs map[string]string, opts Options) (*Report, error) {
 	// Phase 1: scan the application programs.
 	rep := &Report{Timings: make(map[string]time.Duration)}
-	start := time.Now()
+	sctx, endScan := startPhase(ctx, rep, "scan")
 	var snippets []appscan.Snippet
 	names := make([]string, 0, len(programs))
 	for name := range programs {
@@ -115,19 +166,25 @@ func Run(db *table.Database, programs map[string]string, opts Options) (*Report,
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		snippets = append(snippets, appscan.ScanSource(name, programs[name], &rep.Scan)...)
+		snippets = append(snippets, appscan.ScanSourceCtx(sctx, name, programs[name], &rep.Scan)...)
 	}
 	ex := appscan.NewExtractor(db.Catalog())
 	ex.TransitiveClosure = opts.TransitiveClosure
 	q := ex.ExtractQ(snippets)
-	rep.RecordTiming("scan", time.Since(start))
-	return RunWithQ(db, q, opts, rep)
+	endScan()
+	return RunWithQContext(ctx, db, q, opts, rep)
 }
 
 // RunWithQ executes the pipeline with a pre-extracted equi-join set (the
 // paper's assumption in Section 4 that Q "has been computed"). When rep is
 // nil a fresh report is allocated.
 func RunWithQ(db *table.Database, q *deps.JoinSet, opts Options, rep *Report) (*Report, error) {
+	return RunWithQContext(context.Background(), db, q, opts, rep)
+}
+
+// RunWithQContext is RunWithQ with observability threaded through the
+// context; see RunContext.
+func RunWithQContext(ctx context.Context, db *table.Database, q *deps.JoinSet, opts Options, rep *Report) (*Report, error) {
 	if rep == nil {
 		rep = &Report{Timings: make(map[string]time.Duration)}
 	}
@@ -135,6 +192,8 @@ func RunWithQ(db *table.Database, q *deps.JoinSet, opts Options, rep *Report) (*
 		opts.Oracle = expert.NewAuto()
 	}
 	rep.Q = q
+	tr := obs.FromContext(ctx)
+	rep.Trace = tr
 
 	// The column-statistics cache shared by every counting phase below.
 	// A caller-supplied cache wins (tests audit its metrics afterwards);
@@ -143,71 +202,67 @@ func RunWithQ(db *table.Database, q *deps.JoinSet, opts Options, rep *Report) (*
 	if cache == nil && !opts.NoStatsCache {
 		cache = stats.NewCache(db)
 	}
+	if tr != nil && cache != nil {
+		cache.SetTracer(tr)
+	}
 
 	// Phase 0: constraint sets from the dictionary, inferring missing
 	// keys from the data first when asked to.
-	start := time.Now()
+	cctx, endConstraints := startPhase(ctx, rep, "constraints")
 	if opts.InferKeys {
 		kopts := fd.DefaultKeyInferenceOptions()
 		kopts.Stats = cache
-		inferred, err := fd.InferMissingKeys(db, kopts)
+		inferred, err := fd.InferMissingKeysCtx(cctx, db, kopts)
 		if err != nil {
+			endConstraints()
 			return rep, fmt.Errorf("core: key inference: %w", err)
 		}
 		rep.InferredKeys = inferred
 	}
 	rep.K = db.Catalog().Keys()
 	rep.N = db.Catalog().NotNulls()
-	rep.RecordTiming("constraints", time.Since(start))
+	endConstraints()
 
-	// Phase 2: IND-Discovery.
-	start = time.Now()
-	var indRes *ind.Result
-	var err error
-	if cache == nil && opts.Parallelism <= 1 {
-		indRes, err = ind.Discover(db, q, opts.Oracle)
-	} else {
-		indRes, err = ind.DiscoverOpts(db, q, opts.Oracle, ind.Opts{Stats: cache, Workers: opts.Parallelism})
-	}
+	// Phase 2: IND-Discovery. The zero-Opts call is the serial, uncached
+	// configuration — identical to the reference ind.Discover, which the
+	// differential harness asserts.
+	ictx, endIND := startPhase(ctx, rep, "ind-discovery")
+	indRes, err := ind.DiscoverOptsCtx(ictx, db, q, opts.Oracle, ind.Opts{Stats: cache, Workers: opts.Parallelism})
+	endIND()
 	if err != nil {
 		return rep, fmt.Errorf("core: IND-Discovery: %w", err)
 	}
 	rep.IND = indRes
-	rep.RecordTiming("ind-discovery", time.Since(start))
 
 	// Phase 3: LHS-Discovery.
-	start = time.Now()
+	lctx, endLHS := startPhase(ctx, rep, "lhs-discovery")
 	inS := make(map[string]bool, len(indRes.NewRelations))
 	for _, n := range indRes.NewRelations {
 		inS[n] = true
 	}
-	lhsRes, err := restruct.DiscoverLHS(db.Catalog(), indRes.INDs, func(n string) bool { return inS[n] })
+	lhsRes, err := restruct.DiscoverLHSCtx(lctx, db.Catalog(), indRes.INDs, func(n string) bool { return inS[n] })
+	endLHS()
 	if err != nil {
 		return rep, fmt.Errorf("core: LHS-Discovery: %w", err)
 	}
 	rep.LHS = lhsRes
-	rep.RecordTiming("lhs-discovery", time.Since(start))
 
 	// Phase 4: RHS-Discovery. IND-Discovery's NEI conceptualization may
 	// have added relations; the cache revalidates per lookup, so no
 	// explicit invalidation is needed here.
-	start = time.Now()
-	var rhsRes *fd.Result
-	if cache == nil && opts.Parallelism <= 1 {
-		rhsRes, err = fd.DiscoverRHS(db, lhsRes.LHS, lhsRes.Hidden, opts.Oracle)
-	} else {
-		rhsRes, err = fd.DiscoverRHSOpts(db, lhsRes.LHS, lhsRes.Hidden, opts.Oracle, fd.Opts{Stats: cache, Workers: opts.Parallelism})
-	}
+	rctx, endRHS := startPhase(ctx, rep, "rhs-discovery")
+	rhsRes, err := fd.DiscoverRHSOptsCtx(rctx, db, lhsRes.LHS, lhsRes.Hidden, opts.Oracle, fd.Opts{Stats: cache, Workers: opts.Parallelism})
+	endRHS()
 	if err != nil {
 		return rep, fmt.Errorf("core: RHS-Discovery: %w", err)
 	}
 	rep.RHS = rhsRes
-	rep.RecordTiming("rhs-discovery", time.Since(start))
 
 	// Phase 5: Restruct.
-	start = time.Now()
-	resRes, err := restruct.Run(db, rhsRes.FDs, rhsRes.Hidden, indRes.INDs, opts.Oracle)
+	xctx, endRestruct := startPhase(ctx, rep, "restruct")
+	resRes, err := restruct.RunCtx(xctx, db, rhsRes.FDs, rhsRes.Hidden, indRes.INDs, opts.Oracle)
 	if err != nil {
+		endRestruct()
 		return rep, fmt.Errorf("core: Restruct: %w", err)
 	}
 	rep.Restruct = resRes
@@ -223,21 +278,23 @@ func RunWithQ(db *table.Database, q *deps.JoinSet, opts Options, rep *Report) (*
 	// to the elicited dependencies. Violations indicate expert-forced
 	// dependencies that conflict; they are reported, not fatal.
 	rep.ThreeNFViolations = restruct.Verify3NF(db.Catalog(), resRes.MappedFDs)
-	rep.RecordTiming("restruct", time.Since(start))
+	endRestruct()
 
 	// Phase 6: Translate, then annotate cardinalities and participation
 	// from the migrated extension.
 	if !opts.SkipTranslate {
-		start = time.Now()
+		_, endTranslate := startPhase(ctx, rep, "translate")
 		schema, err := eer.Translate(db.Catalog(), resRes.RIC)
 		if err != nil {
+			endTranslate()
 			return rep, fmt.Errorf("core: Translate: %w", err)
 		}
 		if err := eer.Annotate(db, schema); err != nil {
+			endTranslate()
 			return rep, fmt.Errorf("core: annotating EER schema: %w", err)
 		}
 		rep.EER = schema
-		rep.RecordTiming("translate", time.Since(start))
+		endTranslate()
 	}
 	return rep, nil
 }
@@ -325,14 +382,29 @@ func (r *Report) Text() string {
 	}
 	section("Timings")
 	r.timingsMu.Lock()
-	var phases []string
-	for p := range r.Timings {
-		phases = append(phases, p)
+	// Canonical pipeline order first, then any phase a caller recorded
+	// outside the canon, lexicographically.
+	emitted := make(map[string]bool, len(r.Timings))
+	for _, p := range PhaseOrder {
+		if d, ok := r.Timings[p]; ok {
+			fmt.Fprintf(&b, "  %-14s %v\n", p, d)
+			emitted[p] = true
+		}
 	}
-	sort.Strings(phases)
-	for _, p := range phases {
+	var extras []string
+	for p := range r.Timings {
+		if !emitted[p] {
+			extras = append(extras, p)
+		}
+	}
+	sort.Strings(extras)
+	for _, p := range extras {
 		fmt.Fprintf(&b, "  %-14s %v\n", p, r.Timings[p])
 	}
 	r.timingsMu.Unlock()
+	if r.Trace != nil {
+		section("Trace")
+		r.Trace.Render(&b)
+	}
 	return b.String()
 }

@@ -1,8 +1,10 @@
 package fd
 
 import (
+	"context"
 	"sort"
 
+	"dbre/internal/obs"
 	"dbre/internal/relation"
 	"dbre/internal/stats"
 	"dbre/internal/table"
@@ -148,6 +150,13 @@ func countNonNullRows(tab *table.Table, names []string) int {
 // returns what was declared. Relations with no data-supported key (or no
 // data) are left untouched.
 func InferMissingKeys(db *table.Database, opts KeyInferenceOptions) ([]relation.Ref, error) {
+	return InferMissingKeysCtx(context.Background(), db, opts)
+}
+
+// InferMissingKeysCtx is InferMissingKeys with observability threaded
+// through the context: each keyless relation's level-wise search becomes
+// an "infer-keys" child span. Untraced contexts cost nothing.
+func InferMissingKeysCtx(ctx context.Context, db *table.Database, opts KeyInferenceOptions) ([]relation.Ref, error) {
 	var declared []relation.Ref
 	for _, name := range db.Catalog().Names() {
 		schema, _ := db.Catalog().Get(name)
@@ -158,7 +167,11 @@ func InferMissingKeys(db *table.Database, opts KeyInferenceOptions) ([]relation.
 		if tab.Len() == 0 {
 			continue
 		}
+		_, sp := obs.StartSpan(ctx, "infer-keys")
+		sp.SetAttr("relation", name)
 		keys, err := InferKeys(tab, opts)
+		sp.SetInt("keys", int64(len(keys)))
+		sp.End()
 		if err != nil {
 			return nil, err
 		}

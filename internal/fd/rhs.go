@@ -1,10 +1,12 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 
 	"dbre/internal/deps"
 	"dbre/internal/expert"
+	"dbre/internal/obs"
 	"dbre/internal/relation"
 	"dbre/internal/stats"
 	"dbre/internal/table"
@@ -79,10 +81,35 @@ func DiscoverRHS(db *table.Database, lhs, hidden []relation.Ref, oracle expert.O
 // algorithm's outcomes, traces, counters and the exact order of expert
 // consultations.
 func DiscoverRHSOpts(db *table.Database, lhs, hidden []relation.Ref, oracle expert.Oracle, o Opts) (*Result, error) {
+	return DiscoverRHSOptsCtx(context.Background(), db, lhs, hidden, oracle, o)
+}
+
+// DiscoverRHSOptsCtx is DiscoverRHSOpts with observability threaded
+// through the context: when a tracer is installed (obs.NewContext), the
+// plan/check/decide stages become child spans, and the fd-checks and
+// fd-rhs-pruned counters are published. Untraced contexts cost nothing
+// (nil-span no-ops).
+func DiscoverRHSOptsCtx(ctx context.Context, db *table.Database, lhs, hidden []relation.Ref, oracle expert.Oracle, o Opts) (*Result, error) {
+	tr := obs.FromContext(ctx)
+	_, psp := obs.StartSpan(ctx, "plan")
 	plan, err := planRHS(db, lhs, hidden)
 	if err != nil {
+		psp.End()
 		return nil, err
 	}
+	psp.SetInt("candidates", int64(len(plan.candidates)))
+	psp.End()
+	// fd-rhs-pruned: attributes the key/not-null reduction removed from
+	// each candidate's schema before any extension check ran.
+	var prunedAway int64
+	for i, cand := range plan.candidates {
+		if schema, ok := db.Catalog().Get(cand.Rel); ok {
+			full := schema.AttrSet().Len() - cand.Attrs.Len()
+			prunedAway += int64(full - plan.pruned[i].Len())
+		}
+	}
+	tr.Add(obs.CtrRHSPruned, prunedAway)
+
 	type chk struct {
 		cand int
 		attr string
@@ -99,6 +126,7 @@ func DiscoverRHSOpts(db *table.Database, lhs, hidden []relation.Ref, oracle expe
 	}
 	results := make([]expert.FDSupport, len(checks))
 	errs := make([]error, len(checks))
+	_, ksp := obs.StartSpan(ctx, "check")
 	stats.ForEach(len(checks), o.Workers, func(i int) {
 		cand := plan.candidates[checks[i].cand]
 		if o.Stats != nil {
@@ -107,6 +135,10 @@ func DiscoverRHSOpts(db *table.Database, lhs, hidden []relation.Ref, oracle expe
 		}
 		results[i], errs[i] = Check(db.MustTable(cand.Rel), cand.Attrs.Names(), checks[i].attr)
 	})
+	ksp.SetInt("checks", int64(len(checks)))
+	ksp.SetInt("workers", int64(o.Workers))
+	ksp.End()
+	tr.Add(obs.CtrFDChecks, int64(len(checks)))
 	for i, err := range errs {
 		if err != nil {
 			return nil, err
@@ -116,7 +148,14 @@ func DiscoverRHSOpts(db *table.Database, lhs, hidden []relation.Ref, oracle expe
 	lookup := func(cand relation.Ref, b string) (expert.FDSupport, error) {
 		return supports[[2]string{cand.Key(), b}], nil
 	}
-	return decideRHS(db, plan, oracle, lookup)
+	_, dsp := obs.StartSpan(ctx, "decide")
+	res, err := decideRHS(db, plan, oracle, lookup)
+	if err == nil {
+		dsp.SetInt("fds", int64(len(res.FDs)))
+		dsp.SetInt("hidden", int64(len(res.Hidden)))
+	}
+	dsp.End()
+	return res, err
 }
 
 // rhsPlan is the deterministic candidate schedule both variants share.

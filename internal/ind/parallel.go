@@ -1,10 +1,12 @@
 package ind
 
 import (
+	"context"
 	"fmt"
 
 	"dbre/internal/deps"
 	"dbre/internal/expert"
+	"dbre/internal/obs"
 	"dbre/internal/stats"
 	"dbre/internal/table"
 )
@@ -45,15 +47,30 @@ func DiscoverParallel(db *table.Database, q *deps.JoinSet, oracle expert.Oracle,
 // to the serial reference Discover — the differential harness asserts
 // exactly this.
 func DiscoverOpts(db *table.Database, q *deps.JoinSet, oracle expert.Oracle, o Opts) (*Result, error) {
+	return DiscoverOptsCtx(context.Background(), db, q, oracle, o)
+}
+
+// DiscoverOptsCtx is DiscoverOpts with observability threaded through
+// the context: when a tracer is installed (obs.NewContext), the counting
+// and decision stages become child spans, and the joins-tested /
+// INDs-accepted / NEI-escalation / extension-query counters are
+// published. Untraced contexts cost nothing (nil-span no-ops).
+func DiscoverOptsCtx(ctx context.Context, db *table.Database, q *deps.JoinSet, oracle expert.Oracle, o Opts) (*Result, error) {
 	if oracle == nil {
 		oracle = expert.NewAuto()
 	}
+	tr := obs.FromContext(ctx)
 	joins := q.Sorted()
 	results := make([]joinCounts, len(joins))
+	_, csp := obs.StartSpan(ctx, "count")
 	stats.ForEach(len(joins), o.Workers, func(i int) {
 		results[i] = countJoinOpts(db, joins[i], o.Stats)
 	})
+	csp.SetInt("joins", int64(len(joins)))
+	csp.SetInt("workers", int64(o.Workers))
+	csp.End()
 
+	_, dsp := obs.StartSpan(ctx, "decide")
 	res := &Result{INDs: deps.NewINDSet()}
 	for i, join := range joins {
 		c := results[i]
@@ -65,6 +82,20 @@ func DiscoverOpts(db *table.Database, q *deps.JoinSet, oracle expert.Oracle, o O
 		out := decideJoin(db, join, c.nk, c.nl, c.nkl, oracle, o.Stats, res)
 		res.Outcomes = append(res.Outcomes, out)
 	}
+	nei := 0
+	for _, out := range res.Outcomes {
+		switch out.Case {
+		case CaseNEINewRelation, CaseNEIForced, CaseNEIIgnored:
+			nei++
+		}
+	}
+	tr.Add(obs.CtrINDsTested, int64(len(joins)))
+	tr.Add(obs.CtrINDsAccepted, int64(res.INDs.Len()))
+	tr.Add(obs.CtrNEIEscalated, int64(nei))
+	tr.Add(obs.CtrDistinctQueries, int64(res.ExtensionQueries))
+	dsp.SetInt("inds", int64(res.INDs.Len()))
+	dsp.SetInt("nei", int64(nei))
+	dsp.End()
 	return res, nil
 }
 

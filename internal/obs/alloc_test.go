@@ -1,0 +1,76 @@
+package obs_test
+
+import (
+	"context"
+	"testing"
+
+	"dbre/internal/obs"
+)
+
+// Allocation regressions for the disabled path: the observability layer
+// promises to be zero-cost when no tracer is installed, so instrumented
+// hot loops (stats-cache lookups, IND counting, FD checks) may call
+// StartSpan / Span methods / Tracer.Add unconditionally. These pins are
+// the contract; they run in the -race CI leg alongside the counting
+// kernels' allocation regressions in internal/stats.
+
+func allocsPerOp(f func()) int64 {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+	})
+	return res.AllocsPerOp()
+}
+
+// TestAllocsDisabledSpan pins the full no-op span lifecycle — StartSpan
+// on an untraced context plus every mutator — at 0 allocs/op.
+func TestAllocsDisabledSpan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation benchmarks skipped in -short mode")
+	}
+	ctx := context.Background()
+	if got := allocsPerOp(func() {
+		sctx, sp := obs.StartSpan(ctx, "phase")
+		_, child := obs.StartSpan(sctx, "child")
+		child.SetInt("n", 1)
+		child.End()
+		sp.SetAttr("k", "v")
+		sp.End()
+	}); got != 0 {
+		t.Errorf("disabled span lifecycle: %d allocs/op, want 0", got)
+	}
+}
+
+// TestAllocsDisabledCounters pins guarded counter increments on a nil
+// tracer at 0 allocs/op.
+func TestAllocsDisabledCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation benchmarks skipped in -short mode")
+	}
+	var tr *obs.Tracer
+	if got := allocsPerOp(func() {
+		tr.Add(obs.CtrRowsScanned, 5000)
+		tr.Add(obs.CtrStatsHits, 1)
+		tr.Add(obs.CtrFDChecks, 1)
+	}); got != 0 {
+		t.Errorf("disabled counter increments: %d allocs/op, want 0", got)
+	}
+}
+
+// TestAllocsEnabledCounters pins the enabled counter path too: an atomic
+// add must never allocate, so tracing's per-increment cost is bounded by
+// the atomic itself.
+func TestAllocsEnabledCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation benchmarks skipped in -short mode")
+	}
+	tr := obs.NewTracer("bench")
+	if got := allocsPerOp(func() {
+		tr.Add(obs.CtrRowsScanned, 5000)
+		tr.Add(obs.CtrFDChecks, 1)
+	}); got != 0 {
+		t.Errorf("enabled counter increments: %d allocs/op, want 0", got)
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// published maps expvar names to the tracer they currently expose.
+// expvar.Publish panics on duplicate names, so re-publication (a new
+// run in the same process, tests) swaps the tracer behind the
+// already-registered Func instead.
+var published sync.Map // string → *Tracer
+
+// Publish exposes the tracer's counters and span tree under the given
+// expvar name (served at /debug/vars). Publishing the same name again
+// rebinds it to the new tracer; the snapshot is taken per request, so
+// a long run can be watched live.
+func Publish(name string, t *Tracer) {
+	if _, loaded := published.Swap(name, t); loaded {
+		return // name already registered with expvar; rebound above
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		v, _ := published.Load(name)
+		tr, _ := v.(*Tracer)
+		return tr.Snapshot()
+	}))
+}
+
+// DebugMux returns the handler served behind -debug-addr: expvar at
+// /debug/vars and the full pprof suite at /debug/pprof/, so long runs
+// can be profiled live (CPU, heap, goroutines, execution traces)
+// without rebuilding.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

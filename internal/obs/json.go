@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion is the version stamped into every JSON trace file.
+// Parse rejects files written by a different major schema. History:
+//
+//	1 — initial schema: {version, root, counters}; spans carry
+//	    name, start_us (Unix microseconds), duration_us, attrs
+//	    (string → string, last write per key wins), children.
+const SchemaVersion = 1
+
+// Trace is the wire form of one trace file (-trace out.json).
+type Trace struct {
+	Version  int              `json:"version"`
+	Root     *SpanRecord      `json:"root"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// SpanRecord is the wire form of one span.
+type SpanRecord struct {
+	Name string `json:"name"`
+	// StartUS is the span's start in Unix microseconds; DurationUS its
+	// measured duration in microseconds (0 when the span never ended).
+	StartUS    int64             `json:"start_us"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*SpanRecord     `json:"children,omitempty"`
+}
+
+// Snapshot converts the tracer's current state to the wire form. Safe
+// while the run is still in flight (spans lock individually).
+func (t *Tracer) Snapshot() *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{
+		Version:  SchemaVersion,
+		Root:     snapshotSpan(t.root),
+		Counters: t.CounterSnapshot(),
+	}
+}
+
+func snapshotSpan(s *Span) *SpanRecord {
+	if s == nil {
+		return nil
+	}
+	rec := &SpanRecord{
+		Name:       s.Name(),
+		StartUS:    s.Start().UnixMicro(),
+		DurationUS: s.Duration().Microseconds(),
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			rec.Attrs[a.Key] = a.Val
+		}
+	}
+	for _, c := range s.Children() {
+		rec.Children = append(rec.Children, snapshotSpan(c))
+	}
+	return rec
+}
+
+// WriteJSON writes the trace file (indented JSON, trailing newline).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: no tracer to export")
+	}
+	data, err := json.MarshalIndent(t.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Parse decodes and validates a trace file: the version must match
+// SchemaVersion and a root span must be present.
+func Parse(data []byte) (*Trace, error) {
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("obs: decoding trace: %w", err)
+	}
+	if tr.Version != SchemaVersion {
+		return nil, fmt.Errorf("obs: trace schema version %d, this build reads %d", tr.Version, SchemaVersion)
+	}
+	if tr.Root == nil {
+		return nil, fmt.Errorf("obs: trace has no root span")
+	}
+	return &tr, nil
+}
+
+// SpanNames collects every span name of the subtree, depth first — a
+// convenience for consumers asserting phase coverage.
+func (r *SpanRecord) SpanNames() []string {
+	if r == nil {
+		return nil
+	}
+	names := []string{r.Name}
+	for _, c := range r.Children {
+		names = append(names, c.SpanNames()...)
+	}
+	return names
+}

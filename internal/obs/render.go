@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Render writes the human-readable trace: the span tree (indented two
+// spaces per level, duration right of the name, attributes in
+// key=value form) followed by the non-zero counters. This is the
+// "Trace" section appended to core.(*Report).Text().
+func (t *Tracer) Render(w io.Writer) {
+	if t == nil {
+		return
+	}
+	renderSpan(w, t.root, 0)
+	counters := t.CounterSnapshot()
+	if len(counters) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "counters:\n")
+	for i := Counter(0); i < numCounters; i++ {
+		if v, ok := counters[counterNames[i]]; ok {
+			fmt.Fprintf(w, "  %-22s %d\n", counterNames[i], v)
+		}
+	}
+}
+
+// renderSpan writes one span line and recurses into its children.
+func renderSpan(w io.Writer, s *Span, depth int) {
+	if s == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	line := fmt.Sprintf("%s%s", indent, s.Name())
+	fmt.Fprintf(w, "%-30s %10s%s\n", line, renderDuration(s.Duration()), renderAttrs(s.Attrs()))
+	for _, c := range s.Children() {
+		renderSpan(w, c, depth+1)
+	}
+}
+
+// renderDuration rounds for legibility; sub-microsecond jitter is never
+// what a trace reader is after.
+func renderDuration(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// renderAttrs renders the attribute list as "  [k=v k=v]", keeping the
+// last value per key and first-write key order.
+func renderAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	last := make(map[string]string, len(attrs))
+	var order []string
+	for _, a := range attrs {
+		if _, seen := last[a.Key]; !seen {
+			order = append(order, a.Key)
+		}
+		last[a.Key] = a.Val
+	}
+	var b strings.Builder
+	b.WriteString("  [")
+	for i, k := range order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(last[k])
+	}
+	b.WriteByte(']')
+	return b.String()
+}

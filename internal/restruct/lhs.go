@@ -6,9 +6,11 @@
 package restruct
 
 import (
+	"context"
 	"fmt"
 
 	"dbre/internal/deps"
+	"dbre/internal/obs"
 	"dbre/internal/relation"
 )
 
@@ -27,6 +29,14 @@ type LHSResult struct {
 // inclusion dependencies. catalog must contain both the original relations
 // R and the NEI relations S; inS reports membership in S.
 func DiscoverLHS(catalog *relation.Catalog, inds *deps.INDSet, inS func(string) bool) (*LHSResult, error) {
+	return DiscoverLHSCtx(context.Background(), catalog, inds, inS)
+}
+
+// DiscoverLHSCtx is DiscoverLHS with observability threaded through the
+// context: when a tracer is installed, the fd-lhs-generated counter
+// records how many candidate left-hand sides the scan over IND produced.
+// Untraced contexts cost nothing.
+func DiscoverLHSCtx(ctx context.Context, catalog *relation.Catalog, inds *deps.INDSet, inS func(string) bool) (*LHSResult, error) {
 	res := &LHSResult{}
 	seenLHS := make(map[string]bool)
 	seenH := make(map[string]bool)
@@ -81,5 +91,7 @@ func DiscoverLHS(catalog *relation.Catalog, inds *deps.INDSet, inS func(string) 
 	}
 	relation.SortRefs(res.LHS)
 	relation.SortRefs(res.Hidden)
+	tr := obs.FromContext(ctx)
+	tr.Add(obs.CtrLHSGenerated, int64(len(res.LHS)+len(res.Hidden)))
 	return res, nil
 }

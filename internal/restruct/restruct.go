@@ -1,10 +1,12 @@
 package restruct
 
 import (
+	"context"
 	"fmt"
 
 	"dbre/internal/deps"
 	"dbre/internal/expert"
+	"dbre/internal/obs"
 	"dbre/internal/relation"
 	"dbre/internal/table"
 	"dbre/internal/value"
@@ -48,34 +50,48 @@ type Result struct {
 // extension. Hidden objects and FDs are processed in canonical order;
 // naming goes through the oracle.
 func Run(db *table.Database, fds []deps.FD, hidden []relation.Ref, inds *deps.INDSet, oracle expert.Oracle) (*Result, error) {
+	return RunCtx(context.Background(), db, fds, hidden, inds, oracle)
+}
+
+// RunCtx is Run with observability threaded through the context: when a
+// tracer is installed, the three Restruct steps become child spans
+// (hidden-objects, fd-splits, ric). Untraced contexts cost nothing.
+func RunCtx(ctx context.Context, db *table.Database, fds []deps.FD, hidden []relation.Ref, inds *deps.INDSet, oracle expert.Oracle) (*Result, error) {
 	if oracle == nil {
 		oracle = expert.NewAuto()
 	}
 	res := &Result{INDs: inds.Clone()}
 
 	// Step 1: hidden objects.
+	_, hsp := obs.StartSpan(ctx, "hidden-objects")
 	sortedHidden := append([]relation.Ref{}, hidden...)
 	relation.SortRefs(sortedHidden)
 	for _, h := range sortedHidden {
 		name, err := createProjection(db, h.Rel, h.Attrs, relation.AttrSet{}, expert.NameHiddenObject, oracle, res)
 		if err != nil {
+			hsp.End()
 			return nil, err
 		}
 		added := deps.NewIND(sideOf(db, h.Rel, h.Attrs), sideOf(db, name, h.Attrs))
 		replaceRel(res.INDs, h.Rel, h.Attrs, name, added)
 		res.INDs.Add(added)
 	}
+	hsp.SetInt("hidden", int64(len(sortedHidden)))
+	hsp.End()
 
 	// Step 2: FD splits.
+	_, fsp := obs.StartSpan(ctx, "fd-splits")
 	sortedFDs := append([]deps.FD{}, fds...)
 	deps.SortFDs(sortedFDs)
 	for _, f := range sortedFDs {
 		name, err := createProjection(db, f.Rel, f.LHS, f.RHS, expert.NameFDSplit, oracle, res)
 		if err != nil {
+			fsp.End()
 			return nil, err
 		}
 		// Remove B_i from R_i (schema and extension).
 		if err := dropAttrs(db, f.Rel, f.RHS); err != nil {
+			fsp.End()
 			return nil, err
 		}
 		added := deps.NewIND(sideOf(db, f.Rel, f.LHS), sideOf(db, name, f.LHS))
@@ -86,10 +102,14 @@ func Run(db *table.Database, fds []deps.FD, hidden []relation.Ref, inds *deps.IN
 		res.INDs.Add(added)
 		res.MappedFDs = append(res.MappedFDs, deps.NewFD(name, f.LHS, f.RHS))
 	}
+	fsp.SetInt("fds", int64(len(sortedFDs)))
+	fsp.End()
 
 	// Step 3: referential integrity constraints. Trivial INDs (identical
 	// sides, typically born from self-joins in Q) are tautologies: they
 	// were useful evidence for LHS-Discovery but are not constraints.
+	_, rsp := obs.StartSpan(ctx, "ric")
+	defer func() { rsp.SetInt("ric", int64(len(res.RIC))); rsp.End() }()
 	for _, d := range res.INDs.Sorted() {
 		if d.Left.Equal(d.Right) {
 			continue

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"sync"
 
+	"dbre/internal/obs"
 	"dbre/internal/table"
 	"dbre/internal/value"
 )
@@ -110,6 +111,12 @@ func (e *entry) groupSlices() [][]int32 {
 type Cache struct {
 	db  *table.Database
 	max int
+	// tr mirrors cache effectiveness into the run's observability
+	// counters (hits, misses, rows scanned, partition refinements).
+	// Nil — the default — makes every increment a no-op comparison, so
+	// untraced consumers pay nothing; set it before the cache is shared
+	// across goroutines (the pipeline sets it before any phase runs).
+	tr *obs.Tracer
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -119,6 +126,15 @@ type Cache struct {
 // NewCache creates a cache over db with the default entry bound.
 func NewCache(db *table.Database) *Cache {
 	return &Cache{db: db, max: DefaultMaxEntries, entries: make(map[string]*entry)}
+}
+
+// SetTracer mirrors the cache's effectiveness counters into an
+// observability tracer (hits, misses, rows scanned while building
+// projections, partition-refinement passes). Call it before the cache
+// is handed to concurrent consumers; a nil tracer (the default) keeps
+// the counting hot path free of any tracing cost.
+func (c *Cache) SetTracer(tr *obs.Tracer) {
+	c.tr = tr
 }
 
 // SetMaxEntries adjusts the memory bound; n < 1 means unbounded.
@@ -191,6 +207,7 @@ func (c *Cache) lookup(rel string, attrs []string) (*entry, error) {
 	}
 	if !ok {
 		c.m.Misses++
+		c.tr.Add(obs.CtrStatsMisses, 1)
 		if c.max > 0 {
 			for len(c.entries) >= c.max {
 				for victim := range c.entries {
@@ -204,10 +221,20 @@ func (c *Cache) lookup(rel string, attrs []string) (*entry, error) {
 		c.entries[k] = e
 	} else {
 		c.m.Hits++
+		c.tr.Add(obs.CtrStatsHits, 1)
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
 		e.proj, e.err = tab.Projection(attrs)
+		if e.err == nil {
+			// A build scans the extension once; multi-attribute
+			// projections additionally run one partition-refinement
+			// pass per attribute beyond the first.
+			c.tr.Add(obs.CtrRowsScanned, int64(tab.Len()))
+			if len(attrs) > 1 {
+				c.tr.Add(obs.CtrRefinements, int64(len(attrs)-1))
+			}
+		}
 	})
 	return e, e.err
 }

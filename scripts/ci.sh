@@ -1,20 +1,33 @@
 #!/usr/bin/env bash
-# CI entry point: vet, build, race-enabled tests, and a short fuzz smoke
-# of the two parser-facing fuzz targets. Run from the repository root;
-# the GitHub Actions workflow (.github/workflows/ci.yml) invokes exactly
-# this script so local runs reproduce CI bit for bit.
+# CI entry point: formatting and vet gates, a documentation link check,
+# build, race-enabled tests (which include the differential equivalence
+# harness and the obs/stats allocation regressions), and a short fuzz
+# smoke of the two parser-facing fuzz targets. Run from the repository
+# root; the GitHub Actions workflow (.github/workflows/ci.yml) invokes
+# exactly this script so local runs reproduce CI bit for bit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
 
+echo "==> gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+  echo "gofmt: files need formatting:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
 echo "==> go vet"
 go vet ./...
+
+echo "==> doc links"
+./scripts/doclinks.sh
 
 echo "==> go build"
 go build ./...
 
-echo "==> go test -race"
+echo "==> go test -race (unit + differential harness + alloc regressions)"
 go test -race ./...
 
 echo "==> fuzz smoke: FuzzLoadSQL (${FUZZTIME})"

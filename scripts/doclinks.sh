@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Documentation link check: every relative markdown link target in the
+# tracked docs must exist on disk. External schemes (http/https/mailto)
+# and pure in-page anchors are skipped; an anchor suffix on a relative
+# link is stripped before the existence check. Run from anywhere; exits
+# non-zero listing every broken link.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
+
+fail=0
+for doc in "${DOCS[@]}"; do
+  [ -f "$doc" ] || continue
+  # Extract ](target) link targets, one per line.
+  while IFS= read -r target; do
+    case "$target" in
+    http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$(dirname "$doc")/$path" ] && [ ! -e "$path" ]; then
+      echo "broken link in $doc: $target" >&2
+      fail=1
+    fi
+  done < <(grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doclinks.sh: broken documentation links" >&2
+  exit 1
+fi
+echo "doclinks.sh: all documentation links resolve"
