@@ -1,8 +1,9 @@
 // Command bench regenerates every experiment of EXPERIMENTS.md: the
 // exact-reproduction artifacts E1–E7 (the paper's worked example, checked
-// against the expected sets) and the quantitative tables B1–B10
+// against the expected sets) and the quantitative tables B1–B12
 // (query-guided vs exhaustive discovery, scalability, corruption sweeps,
-// the statistics cache and the columnar storage engine).
+// the statistics cache, the columnar storage engine and its refinement
+// kernels).
 //
 // Usage:
 //
@@ -86,6 +87,7 @@ func registry() []experiment {
 		{"B9", "column-statistics cache: uncached vs cached counting kernels", runB9},
 		{"B10", "storage engines: row store vs columnar dictionary encoding", runB10},
 		{"B11", "observability layer: tracing overhead, disabled-path allocations", runB11},
+		{"B12", "refinement kernel overhaul: dense remapping, prefix reuse, pooled scratch", runB12},
 		{"A1", "ablation: transitive equality closure on/off", runA1},
 		{"A2", "ablation: auto-expert inclusion slack sweep on dirty data", runA2},
 		{"A3", "ablation: key inference on keyless dictionaries", runA3},
@@ -827,11 +829,16 @@ func runB10(w io.Writer) error {
 }
 
 // runB11 measures the cost of the observability layer on the B10 workload
-// (100k fact tuples, composite-key dimensions, heavy embedding): best-of-3
-// RHS-Discovery wall time with tracing disabled (plain context) vs enabled
-// (tracer in the context plus counters on the statistics cache), and the
-// allocation count of the disabled instrumentation path, which must be
-// zero — the layer's contract, also pinned by internal/obs/alloc_test.go.
+// (100k fact tuples, composite-key dimensions, heavy embedding):
+// median-of-5 RHS-Discovery wall time with tracing disabled (plain
+// context) vs enabled (tracer in the context plus counters on the
+// statistics cache), and the allocation count of the disabled
+// instrumentation path, which must be zero — the layer's contract, also
+// pinned by internal/obs/alloc_test.go. The measured overhead is tiny
+// relative to scheduler jitter, so deltas inside the observed noise band
+// (the relative spread of each leg's samples) are reported as noise
+// instead of as a signed percentage — a best-of comparison used to print
+// absurdities like "-18.82% overhead".
 func runB11(w io.Writer) error {
 	spec := workload.DefaultSpec(42)
 	spec.FactRows = 25000 // 4 fact relations ⇒ 100k fact tuples
@@ -842,10 +849,10 @@ func runB11(w io.Writer) error {
 	for _, l := range wl.Truth.Links {
 		lhs = append(lhs, relation.NewRef(l.Fact, l.FKs...))
 	}
-	bestOf := func(traced bool) (time.Duration, int, error) {
-		var best time.Duration
+	sample := func(traced bool) ([]time.Duration, int, error) {
+		walls := make([]time.Duration, 0, 5)
 		fds := 0
-		for i := 0; i < 3; i++ {
+		for i := 0; i < cap(walls); i++ {
 			ctx := context.Background()
 			cache := stats.NewCache(wl.DB)
 			if traced {
@@ -856,27 +863,31 @@ func runB11(w io.Writer) error {
 			start := time.Now()
 			out, err := fd.DiscoverRHSOptsCtx(ctx, wl.DB, lhs, nil, expert.Deny{}, fd.Opts{Stats: cache})
 			if err != nil {
-				return 0, 0, err
+				return nil, 0, err
 			}
-			if wall := time.Since(start); best == 0 || wall < best {
-				best = wall
-			}
+			walls = append(walls, time.Since(start))
 			fds = len(out.FDs)
 		}
-		return best, fds, nil
+		return walls, fds, nil
 	}
-	offWall, offFDs, err := bestOf(false)
+	offWalls, offFDs, err := sample(false)
 	if err != nil {
 		return err
 	}
-	onWall, onFDs, err := bestOf(true)
+	onWalls, onFDs, err := sample(true)
 	if err != nil {
 		return err
 	}
 	if offFDs != onFDs {
 		return fmt.Errorf("B11: tracing changed the result: %d vs %d FDs", offFDs, onFDs)
 	}
+	offWall, offSpread := medianSpread(offWalls)
+	onWall, onSpread := medianSpread(onWalls)
 	overhead := (float64(onWall)/float64(offWall) - 1) * 100
+	noiseBand := offSpread
+	if onSpread > noiseBand {
+		noiseBand = onSpread
+	}
 
 	// Disabled-path allocations: a hot loop of no-op spans and guarded
 	// counter increments on an untraced context.
@@ -897,16 +908,145 @@ func runB11(w io.Writer) error {
 	runtime.ReadMemStats(&m)
 	allocsPerOp := float64(m.Mallocs-m0) / ops
 
-	printTable(w, []string{"mode", "RHS wall (best of 3)", "FDs"}, [][]string{
+	printTable(w, []string{"mode", "RHS wall (median of 5)", "FDs"}, [][]string{
 		{"tracing disabled", offWall.Round(time.Microsecond).String(), fmt.Sprint(offFDs)},
 		{"tracing enabled", onWall.Round(time.Microsecond).String(), fmt.Sprint(onFDs)},
 	})
-	fmt.Fprintf(w, "  enabled-tracing overhead %.2f%% (target < 2%%)\n", overhead)
+	reported := overhead
+	if overhead < noiseBand {
+		// A delta inside the samples' own spread — in either direction —
+		// is not a measured overhead; clamp it rather than report jitter
+		// as a (possibly negative) cost.
+		reported = 0
+		fmt.Fprintf(w, "  enabled-tracing overhead within measurement noise (delta %+.2f%%, noise band ±%.2f%%; target < 2%%)\n",
+			overhead, noiseBand)
+	} else {
+		fmt.Fprintf(w, "  enabled-tracing overhead %.2f%% (noise band ±%.2f%%, target < 2%%)\n", overhead, noiseBand)
+	}
 	fmt.Fprintf(w, "  disabled-path instrumentation: %.4f allocs/op over %d ops (target 0)\n", allocsPerOp, ops)
 	record("untraced_ms", float64(offWall.Microseconds())/1000)
 	record("traced_ms", float64(onWall.Microseconds())/1000)
-	record("overhead_pct", overhead)
+	record("overhead_pct", reported)
+	record("overhead_raw_pct", overhead)
+	record("noise_band_pct", noiseBand)
 	record("disabled_allocs_per_op", allocsPerOp)
+	return nil
+}
+
+// medianSpread returns the median of the samples and their relative
+// spread — (max − min) / median, as a percentage — the noise band a
+// wall-time delta must clear before it means anything.
+func medianSpread(walls []time.Duration) (time.Duration, float64) {
+	s := append([]time.Duration(nil), walls...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	med := s[len(s)/2]
+	spread := float64(s[len(s)-1]-s[0]) / float64(med) * 100
+	return med, spread
+}
+
+// runB12 is the refinement/counting kernel-overhaul ablation on the B10
+// columnar workload (100k fact tuples, three composite-key dimensions,
+// heavy embedding, single-core): RHS-Discovery through the statistics
+// cache with the pre-overhaul kernels — map-only partition refinement,
+// no prefix-partition reuse, the grouped legacy FD check — versus the
+// overhauled stack (dense direct-addressed remapping, prefix reuse,
+// dense joint-counting checks, pooled scratch). Both legs are
+// median-of-5 with a fresh cache per run and must elicit identical FDs.
+// The steady-state allocation count of the refinement kernel itself is
+// measured alongside (target 0); scripts/perfgate.sh compares the -json
+// output of this experiment against the checked-in BENCH_B12.json.
+func runB12(w io.Writer) error {
+	spec := workload.DefaultSpec(42)
+	spec.FactRows = 25000 // 4 fact relations ⇒ 100k fact tuples
+	spec.CompositeDims = 3
+	spec.EmbedProb = 0.9
+	wl := mustWorkload(spec)
+	var lhs []relation.Ref
+	for _, l := range wl.Truth.Links {
+		lhs = append(lhs, relation.NewRef(l.Fact, l.FKs...))
+	}
+	measure := func(legacy bool) (time.Duration, int, error) {
+		if legacy {
+			prev := table.SetRefineDenseBudget(0) // force the map strategy
+			defer table.SetRefineDenseBudget(prev)
+		}
+		walls := make([]time.Duration, 0, 5)
+		fds := 0
+		for i := 0; i < cap(walls); i++ {
+			cache := stats.NewCache(wl.DB)
+			cache.SetPrefixReuse(!legacy)
+			runtime.GC()
+			start := time.Now()
+			out, err := fd.DiscoverRHSOpts(wl.DB, lhs, nil, expert.Deny{}, fd.Opts{Stats: cache, Legacy: legacy})
+			if err != nil {
+				return 0, 0, err
+			}
+			walls = append(walls, time.Since(start))
+			fds = len(out.FDs)
+		}
+		med, _ := medianSpread(walls)
+		return med, fds, nil
+	}
+	baseWall, baseFDs, err := measure(true)
+	if err != nil {
+		return err
+	}
+	kernWall, kernFDs, err := measure(false)
+	if err != nil {
+		return err
+	}
+	if baseFDs != kernFDs {
+		return fmt.Errorf("B12: kernel paths disagree: legacy found %d FDs, overhauled %d", baseFDs, kernFDs)
+	}
+
+	// Kernel mix of one overhauled run, from the observability counters.
+	tr := obs.NewTracer("b12")
+	cache := stats.NewCache(wl.DB)
+	cache.SetTracer(tr)
+	if _, err := fd.DiscoverRHSOpts(wl.DB, lhs, nil, expert.Deny{}, fd.Opts{Stats: cache}); err != nil {
+		return err
+	}
+	denseSteps := tr.Count(obs.CtrRefineDense)
+	mapSteps := tr.Count(obs.CtrRefineMap)
+	prefixHits := tr.Count(obs.CtrPrefixHits)
+
+	// Steady-state refinement allocations: a warmed Refiner stepping over
+	// a 100k-row vector must not allocate at all.
+	const rows = 100000
+	g := make([]int32, rows)
+	codes := make([]int32, rows)
+	dst := make([]int32, rows)
+	for i := range g {
+		g[i] = int32(i % 160)
+		codes[i] = int32(i % 13)
+	}
+	var ref table.Refiner
+	ref.Step(dst, g, codes, 160, 13) // warm the scratch
+	const ops = 50
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	m0 := m.Mallocs
+	for i := 0; i < ops; i++ {
+		ref.Step(dst, g, codes, 160, 13)
+	}
+	runtime.ReadMemStats(&m)
+	refineAllocs := float64(m.Mallocs-m0) / ops
+
+	printTable(w, []string{"kernel stack", "RHS wall (median of 5)", "FDs"}, [][]string{
+		{"pre-overhaul (map remap, no prefix reuse, grouped check)", baseWall.Round(time.Microsecond).String(), fmt.Sprint(baseFDs)},
+		{"overhauled (dense remap, prefix reuse, dense check)", kernWall.Round(time.Microsecond).String(), fmt.Sprint(kernFDs)},
+	})
+	speedup := float64(baseWall) / float64(kernWall)
+	fmt.Fprintf(w, "  kernel speedup %.2fx (target ≥ 2x)\n", speedup)
+	fmt.Fprintf(w, "  refinement steps: %d dense, %d map; prefix-partition hits: %d\n", denseSteps, mapSteps, prefixHits)
+	fmt.Fprintf(w, "  steady-state refinement: %.4f allocs/op over %d steps (target 0)\n", refineAllocs, ops)
+	record("baseline_rhs_ms", float64(baseWall.Microseconds())/1000)
+	record("kernel_rhs_ms", float64(kernWall.Microseconds())/1000)
+	record("kernel_speedup", speedup)
+	record("refine_dense_steps", float64(denseSteps))
+	record("refine_map_steps", float64(mapSteps))
+	record("prefix_hits", float64(prefixHits))
+	record("refine_allocs_per_op", refineAllocs)
 	return nil
 }
 

@@ -1,0 +1,104 @@
+// Command perfgate compares a fresh `bench -json` run of one experiment
+// against its checked-in baseline and fails when performance regressed:
+// every wall-time metric (keys ending in "_ms") must stay within a
+// multiplicative tolerance of the baseline — generous, because CI
+// machines differ — and allocation metrics (keys ending in
+// "_allocs_per_op") are hard ceilings taken from the baseline verbatim,
+// because allocation counts are deterministic and a single regressed
+// alloc/op is a real kernel regression, not noise.
+//
+// Usage:
+//
+//	perfgate -id B12 -baseline BENCH_B12.json -current /tmp/b12.json [-tolerance 2.0]
+//
+// scripts/perfgate.sh wraps the bench run and this comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type result struct {
+	ID      string             `json:"id"`
+	WallMS  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func load(path, id string) (*result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for i := range results {
+		if results[i].ID == id {
+			return &results[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%s: no result for experiment %s", path, id)
+}
+
+func main() {
+	id := flag.String("id", "B12", "experiment id to gate")
+	basePath := flag.String("baseline", "BENCH_B12.json", "checked-in baseline JSON")
+	curPath := flag.String("current", "", "fresh bench -json output to gate")
+	tolerance := flag.Float64("tolerance", 2.0, "multiplicative wall-time tolerance over the baseline")
+	flag.Parse()
+	if *curPath == "" {
+		fmt.Fprintln(os.Stderr, "perfgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*basePath, *id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*curPath, *id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		os.Exit(2)
+	}
+	failed := false
+	for name, want := range base.Metrics {
+		got, ok := cur.Metrics[name]
+		if !ok {
+			fmt.Printf("FAIL %s: metric %s missing from current run\n", *id, name)
+			failed = true
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, "_ms"):
+			limit := want * *tolerance
+			if got > limit {
+				fmt.Printf("FAIL %s: %s = %.3fms, over %.1fx tolerance of baseline %.3fms (limit %.3fms)\n",
+					*id, name, got, *tolerance, want, limit)
+				failed = true
+			} else {
+				fmt.Printf("ok   %s: %s = %.3fms (baseline %.3fms, limit %.3fms)\n", *id, name, got, want, limit)
+			}
+		case strings.HasSuffix(name, "_allocs_per_op"):
+			if got > want {
+				fmt.Printf("FAIL %s: %s = %.4f, over hard ceiling %.4f\n", *id, name, got, want)
+				failed = true
+			} else {
+				fmt.Printf("ok   %s: %s = %.4f (ceiling %.4f)\n", *id, name, got, want)
+			}
+		default:
+			// Informational metrics (speedups, step counts) are recorded
+			// but not gated: they vary with hardware and scheduling.
+			fmt.Printf("info %s: %s = %.4f (baseline %.4f)\n", *id, name, got, want)
+		}
+	}
+	if failed {
+		fmt.Printf("perfgate: %s REGRESSED\n", *id)
+		os.Exit(1)
+	}
+	fmt.Printf("perfgate: %s within budget\n", *id)
+}

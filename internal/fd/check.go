@@ -73,15 +73,77 @@ func Check(tab *table.Table, lhs []string, rhs string) (expert.FDSupport, error)
 	return expert.FDSupport{Rows: rows, Violations: violations}, nil
 }
 
-// CheckStats is Check through the shared column-statistics cache: the
-// lhs projection is built (or reused) once and serves every
-// right-hand-side candidate tested against the same left-hand side —
-// exactly RHS-Discovery's access pattern, which probes one A against
-// every surviving b — and the rhs column's own projection turns the
-// per-group majority count into pure group-id arithmetic, with no
-// per-row key construction at all. Supports are identical to Check's:
-// the groups are the same groups, the majority count the same count.
+// checkDenseSlack and checkDenseFloor bound the joint-count table the
+// dense CheckStats kernel will allocate: nLHS × (nRHS+1) slots are
+// admitted up to checkDenseSlack × rows (the kernel reads every row
+// anyway, so scratch proportional to the row count is already paid for)
+// plus a floor that keeps small relations always dense.
+const (
+	checkDenseSlack = 4
+	checkDenseFloor = 1 << 16
+)
+
+// CheckStats is Check through the shared column-statistics cache,
+// computed by a dense joint-counting kernel. The cached lhs projection
+// is built (or reused) once and serves every right-hand-side candidate
+// tested against the same left-hand side — exactly RHS-Discovery's
+// access pattern, which probes one A against every surviving b — and
+// the rhs column's own projection reduces the per-group majority count
+// to pure group-id arithmetic over two int32 vectors:
+//
+//	violations = nonNull(lhs) − Σ_g max_r counts[g][r]
+//
+// where counts is the joint (lhs group, rhs group) contingency table,
+// laid out flat with stride nRHS+1 so a NULL right-hand side (group id
+// −1, one regular value in Check's semantics) lands branchlessly in
+// slot 0. Scratch comes from the cache's arena, so warmed checks run
+// allocation-free. When the flat table would exceed the budget — sparse
+// products on very wide group counts — the grouped legacy kernel takes
+// over; supports are identical to Check's on every path: the groups are
+// the same groups, the majority count the same count.
 func CheckStats(cache *stats.Cache, rel string, lhs []string, rhs string) (expert.FDSupport, error) {
+	lg, nLHS, nonNull, err := cache.GroupVector(rel, lhs)
+	if err != nil {
+		return expert.FDSupport{}, err
+	}
+	rg, nRHS, _, err := cache.GroupVector(rel, []string{rhs})
+	if err != nil {
+		return expert.FDSupport{}, err
+	}
+	stride := nRHS + 1
+	product := int64(nLHS) * int64(stride)
+	if product > int64(checkDenseSlack*len(lg)+checkDenseFloor) {
+		return CheckStatsLegacy(cache, rel, lhs, rhs)
+	}
+	counts := cache.AcquireInts(int(product))
+	maxPer := cache.AcquireInts(nLHS)
+	for i, g := range lg {
+		if g < 0 {
+			continue // NULL in the left-hand side: tuple skipped
+		}
+		k := int(g)*stride + int(rg[i]) + 1
+		n := counts[k] + 1
+		counts[k] = n
+		if n > maxPer[g] {
+			maxPer[g] = n
+		}
+	}
+	kept := 0
+	for _, m := range maxPer {
+		kept += int(m)
+	}
+	cache.ReleaseInts(counts)
+	cache.ReleaseInts(maxPer)
+	return expert.FDSupport{Rows: nonNull, Violations: nonNull - kept}, nil
+}
+
+// CheckStatsLegacy is the pre-overhaul grouped kernel: per-group
+// majority counting over the materialized group slices, with a touched
+// list resetting the shared count vector between groups. It remains the
+// fallback for products too sparse to joint-count densely, the baseline
+// leg of the B12 ablation (Opts.Legacy), and a differential reference
+// for the dense kernel.
+func CheckStatsLegacy(cache *stats.Cache, rel string, lhs []string, rhs string) (expert.FDSupport, error) {
 	groups, err := cache.GroupSlices(rel, lhs)
 	if err != nil {
 		return expert.FDSupport{}, err

@@ -22,6 +22,11 @@ type Opts struct {
 	// Workers fans the checks over a bounded worker pool; ≤ 1 checks
 	// serially, < 0 selects GOMAXPROCS.
 	Workers int
+	// Legacy forces the pre-overhaul grouped check kernel
+	// (CheckStatsLegacy) instead of the dense joint-counting one. Only
+	// meaningful with Stats set; results are identical — it exists for
+	// the B12 ablation and differential tests.
+	Legacy bool
 }
 
 // CandidateTrace records how one element of LHS ∪ H was processed by
@@ -130,7 +135,11 @@ func DiscoverRHSOptsCtx(ctx context.Context, db *table.Database, lhs, hidden []r
 	stats.ForEach(len(checks), o.Workers, func(i int) {
 		cand := plan.candidates[checks[i].cand]
 		if o.Stats != nil {
-			results[i], errs[i] = CheckStats(o.Stats, cand.Rel, cand.Attrs.Names(), checks[i].attr)
+			if o.Legacy {
+				results[i], errs[i] = CheckStatsLegacy(o.Stats, cand.Rel, cand.Attrs.Names(), checks[i].attr)
+			} else {
+				results[i], errs[i] = CheckStats(o.Stats, cand.Rel, cand.Attrs.Names(), checks[i].attr)
+			}
 			return
 		}
 		results[i], errs[i] = Check(db.MustTable(cand.Rel), cand.Attrs.Names(), checks[i].attr)

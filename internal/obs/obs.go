@@ -63,8 +63,16 @@ const (
 	CtrFDChecks
 	// CtrRefinements counts partition-refinement passes run while
 	// composing multi-attribute projections (one per attribute beyond
-	// the first, per projection build).
+	// the reused prefix, per projection build).
 	CtrRefinements
+	// CtrRefineDense / CtrRefineMap split CtrRefinements by remapping
+	// strategy: steps served by the dense direct-addressed table vs. the
+	// sparse map fallback (see internal/table/refine.go).
+	CtrRefineDense
+	CtrRefineMap
+	// CtrPrefixHits counts multi-attribute projection builds that started
+	// from an already-cached prefix partition instead of column 0.
+	CtrPrefixHits
 
 	numCounters
 )
@@ -83,6 +91,9 @@ var counterNames = [numCounters]string{
 	"fd-rhs-pruned",
 	"fd-checks",
 	"partition-refinements",
+	"refine-dense-steps",
+	"refine-map-steps",
+	"prefix-partition-hits",
 }
 
 // String returns the counter's stable exported name.

@@ -11,6 +11,7 @@ import (
 	"dbre/internal/fd"
 	"dbre/internal/ind"
 	"dbre/internal/stats"
+	"dbre/internal/table"
 	"dbre/internal/workload"
 )
 
@@ -138,6 +139,69 @@ func TestDifferentialCachedParallelVsReference(t *testing.T) {
 						t.Errorf("post-restruct %s.%s: cache says %d distinct, extension has %d", name, a.Name, got, want)
 					}
 				}
+			}
+		})
+	}
+}
+
+// TestDifferentialPreOverhaulKernels runs the cached columnar pipeline
+// twice per spec — once with the overhauled kernels (dense remapping,
+// prefix-partition reuse) and once forced onto the pre-overhaul path
+// (map-only remapping via a zero dense budget, prefix reuse disabled) —
+// and requires byte-identical reports. Together with the row-engine
+// harness above (whose reference leg runs uncached, so FD checks go
+// through the direct row scan rather than any grouped kernel) this
+// certifies every kernel configuration at the report level.
+func TestDifferentialPreOverhaulKernels(t *testing.T) {
+	runs := 40
+	if testing.Short() {
+		runs = 10
+	}
+	rng := rand.New(rand.NewSource(0x0eed))
+	for i := 0; i < runs; i++ {
+		spec := randomSpec(rng, int64(9000+i))
+		workers := []int{2, 4, 8}[rng.Intn(3)]
+		inferKeys := rng.Intn(3) == 0
+		t.Run(fmt.Sprintf("spec%03d", i), func(t *testing.T) {
+			oldW, err := workload.Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			newW, err := workload.Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			prev := table.SetRefineDenseBudget(0)
+			oldCache := stats.NewCache(oldW.DB)
+			oldCache.SetPrefixReuse(false)
+			oldRep, err := core.RunWithQ(oldW.DB, oldW.Joins, core.Options{
+				Oracle:      expert.NewAuto(),
+				InferKeys:   inferKeys,
+				Parallelism: workers,
+				Stats:       oldCache,
+			}, nil)
+			table.SetRefineDenseBudget(prev)
+			if err != nil {
+				t.Fatalf("pre-overhaul run: %v", err)
+			}
+
+			newCache := stats.NewCache(newW.DB)
+			newRep, err := core.RunWithQ(newW.DB, newW.Joins, core.Options{
+				Oracle:      expert.NewAuto(),
+				InferKeys:   inferKeys,
+				Parallelism: workers,
+				Stats:       newCache,
+			}, nil)
+			if err != nil {
+				t.Fatalf("overhauled run: %v", err)
+			}
+
+			oldText := stripTimings(oldRep.Text())
+			newText := stripTimings(newRep.Text())
+			if oldText != newText {
+				t.Errorf("spec %+v (workers=%d, inferKeys=%v):\npre-overhaul report:\n%s\noverhauled report:\n%s",
+					spec, workers, inferKeys, oldText, newText)
 			}
 		})
 	}

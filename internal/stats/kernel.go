@@ -13,6 +13,13 @@ import (
 // serial callers pay nothing. fn must be safe to call concurrently and
 // must confine its writes to index i (the usual "fill results[i]"
 // pattern); completion of ForEach happens-after every fn call.
+//
+// Indexes are handed out in chunks — one atomic fetch-add claims a
+// block of consecutive indexes — so tiny per-item work doesn't
+// serialize every worker on the shared counter's cache line. The chunk
+// size adapts to the job: large index spaces claim up to maxChunk at a
+// time, while short ones (a few heavy checks) fall back toward 1 so no
+// worker starves holding a big block.
 func ForEach(n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -26,19 +33,31 @@ func ForEach(n, workers int, fn func(i int)) {
 		}
 		return
 	}
+	const maxChunk = 64
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	} else if chunk > maxChunk {
+		chunk = maxChunk
+	}
 	var next atomic.Int64
-	next.Store(-1)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := next.Add(1)
-				if i >= int64(n) {
+				lo := next.Add(int64(chunk)) - int64(chunk)
+				if lo >= int64(n) {
 					return
 				}
-				fn(int(i))
+				hi := lo + int64(chunk)
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				for i := lo; i < hi; i++ {
+					fn(int(i))
+				}
 			}
 		}()
 	}

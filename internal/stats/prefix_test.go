@@ -1,0 +1,162 @@
+package stats_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dbre/internal/relation"
+	"dbre/internal/stats"
+	"dbre/internal/table"
+	"dbre/internal/value"
+)
+
+// Cache-level tests for prefix-partition reuse: a cache with reuse
+// enabled must answer every projection query bit-identically to one
+// with reuse disabled (which refines from column 0, the pre-overhaul
+// behavior), including over NULL-bearing columns and across inserts
+// that stale previously-reused prefixes.
+
+// prefixDB builds R(a,b,c,d) with NULL-bearing, small-domain columns so
+// multi-attribute groupings collide and carry NULL rows.
+func prefixDB(tb testing.TB, seed int64, nrows int) *table.Database {
+	tb.Helper()
+	r := relation.MustSchema("R", []relation.Attribute{
+		{Name: "a", Type: value.KindInt},
+		{Name: "b", Type: value.KindInt},
+		{Name: "c", Type: value.KindString},
+		{Name: "d", Type: value.KindInt},
+	})
+	cat, err := relation.NewCatalog(r)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	db := table.NewDatabase(cat)
+	fillPrefixRows(db.MustTable("R"), rand.New(rand.NewSource(seed)), nrows)
+	return db
+}
+
+func fillPrefixRows(tab *table.Table, rng *rand.Rand, nrows int) {
+	for i := 0; i < nrows; i++ {
+		draw := func(dom int) value.Value {
+			if rng.Intn(7) == 0 {
+				return value.Null
+			}
+			return value.NewInt(int64(rng.Intn(dom)))
+		}
+		str := value.Value(value.Null)
+		if rng.Intn(7) != 0 {
+			str = value.NewString(fmt.Sprintf("s%d", rng.Intn(5)))
+		}
+		tab.InsertUnchecked(table.Row{draw(11), draw(4), str, draw(6)})
+	}
+}
+
+// prefixAttrLists enumerates the probe orders, chosen so later lists
+// share prefixes with earlier ones (the reuse case) and others reuse
+// nothing (the miss case).
+var prefixAttrLists = [][]string{
+	{"a"}, {"a", "b"}, {"a", "b", "c"}, {"a", "b", "c", "d"},
+	{"a", "b", "d"}, {"b", "a"}, {"d", "c", "b", "a"}, {"c", "d"},
+}
+
+// comparePrefixCaches asserts both caches agree with each other on
+// every probe, and that the reuse cache actually reused prefixes.
+func comparePrefixCaches(t *testing.T, reuse, scratch *stats.Cache) {
+	t.Helper()
+	for _, attrs := range prefixAttrLists {
+		rg1, n1, nn1, err := reuse.GroupVector("R", attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg2, n2, nn2, err := scratch.GroupVector("R", attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n1 != n2 || nn1 != nn2 || !reflect.DeepEqual(rg1, rg2) {
+			t.Errorf("GroupVector(%v): prefix-reuse (%d groups, %d non-null) differs from from-scratch (%d, %d)",
+				attrs, n1, nn1, n2, nn2)
+		}
+	}
+	if m := reuse.Metrics(); m.PrefixHits == 0 {
+		t.Errorf("prefix-reuse cache reported no prefix hits over %d probes: %+v", len(prefixAttrLists), m)
+	}
+}
+
+func TestPrefixReuseEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			db := prefixDB(t, seed, 100+int(seed)*17)
+			reuse := stats.NewCache(db)
+			scratch := stats.NewCache(db)
+			scratch.SetPrefixReuse(false)
+			comparePrefixCaches(t, reuse, scratch)
+		})
+	}
+}
+
+// TestPrefixReuseAfterInsert probes, mutates the relation, and probes
+// again: the (pointer, version) revalidation must stale every prefix
+// entry, so reused refinement never starts from a partition of the old
+// extension.
+func TestPrefixReuseAfterInsert(t *testing.T) {
+	db := prefixDB(t, 99, 120)
+	tab := db.MustTable("R")
+	reuse := stats.NewCache(db)
+	scratch := stats.NewCache(db)
+	scratch.SetPrefixReuse(false)
+	comparePrefixCaches(t, reuse, scratch)
+	rng := rand.New(rand.NewSource(100))
+	for round := 0; round < 3; round++ {
+		fillPrefixRows(tab, rng, 40)
+		comparePrefixCaches(t, reuse, scratch)
+		// The extension changed, so the cross-check against a direct
+		// (uncached) build is the ground truth, not just cache-vs-cache.
+		for _, attrs := range prefixAttrLists {
+			want, err := tab.Projection(attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rg, n, nn, err := reuse.GroupVector("R", attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != want.Len() || nn != want.NonNull || !reflect.DeepEqual(rg, want.RowGroup) {
+				t.Errorf("round %d: GroupVector(%v) diverged from direct projection", round, attrs)
+			}
+		}
+	}
+}
+
+// TestArenaZeroInvariant pins the AcquireInts contract: every handout is
+// all-zero, at any requested length, including buffers recycled after a
+// holder dirtied them.
+func TestArenaZeroInvariant(t *testing.T) {
+	db := prefixDB(t, 1, 10)
+	c := stats.NewCache(db)
+	rng := rand.New(rand.NewSource(5))
+	held := [][]int32{}
+	for op := 0; op < 200; op++ {
+		if len(held) > 0 && rng.Intn(2) == 0 {
+			i := rng.Intn(len(held))
+			c.ReleaseInts(held[i])
+			held = append(held[:i], held[i+1:]...)
+			continue
+		}
+		n := 1 + rng.Intn(500)
+		buf := c.AcquireInts(n)
+		if len(buf) != n {
+			t.Fatalf("AcquireInts(%d) returned len %d", n, len(buf))
+		}
+		for j, v := range buf {
+			if v != 0 {
+				t.Fatalf("AcquireInts(%d)[%d] = %d, want 0", n, j, v)
+			}
+		}
+		for j := range buf {
+			buf[j] = int32(rng.Intn(1000)) + 1 // dirty it
+		}
+		held = append(held, buf)
+	}
+}

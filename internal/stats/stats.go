@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dbre/internal/obs"
 	"dbre/internal/table"
@@ -52,6 +53,7 @@ type Metrics struct {
 	Stale         uint64 // misses caused by a version/pointer mismatch
 	Evictions     uint64
 	Invalidations uint64 // entries dropped through Invalidate[All]
+	PrefixHits    uint64 // projection builds started from a cached prefix partition
 	Entries       int    // currently cached projections
 }
 
@@ -118,9 +120,19 @@ type Cache struct {
 	// across goroutines (the pipeline sets it before any phase runs).
 	tr *obs.Tracer
 
+	// prefixOff disables prefix-partition reuse when set (see build);
+	// atomic so the build path reads it without taking mu.
+	prefixOff atomic.Bool
+
 	mu      sync.Mutex
 	entries map[string]*entry
 	m       Metrics
+
+	// arena is the cache-owned pool of reusable []int32 scratch buffers
+	// handed out by AcquireInts; every pooled buffer is all-zero across
+	// its full capacity (ReleaseInts restores the invariant).
+	arenaMu sync.Mutex
+	arena   [][]int32
 }
 
 // NewCache creates a cache over db with the default entry bound.
@@ -198,16 +210,33 @@ func (c *Cache) lookup(rel string, attrs []string) (*entry, error) {
 	if !ok {
 		return nil, fmt.Errorf("stats: unknown relation %q", rel)
 	}
+	e, _ := c.getEntry(tab, rel, attrs, true)
+	c.build(e, tab, rel, attrs)
+	return e, e.err
+}
+
+// getEntry returns the cache slot for (rel, attrs), installing a fresh
+// one when absent or stale; hit reports whether a valid (built or
+// building) entry was already present. external marks consumer-issued
+// lookups, which feed the hit/miss metrics; the prefix recursion passes
+// false so its internal probes don't distort them (prefix reuse has its
+// own counter).
+func (c *Cache) getEntry(tab *table.Table, rel string, attrs []string, external bool) (*entry, bool) {
 	k := key(rel, attrs)
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[k]
 	if ok && (e.tab != tab || e.version != tab.Version()) {
-		c.m.Stale++
+		if external {
+			c.m.Stale++
+		}
 		ok = false
 	}
 	if !ok {
-		c.m.Misses++
-		c.tr.Add(obs.CtrStatsMisses, 1)
+		if external {
+			c.m.Misses++
+			c.tr.Add(obs.CtrStatsMisses, 1)
+		}
 		if c.max > 0 {
 			for len(c.entries) >= c.max {
 				for victim := range c.entries {
@@ -219,24 +248,108 @@ func (c *Cache) lookup(rel string, attrs []string) (*entry, error) {
 		}
 		e = &entry{tab: tab, version: tab.Version()}
 		c.entries[k] = e
-	} else {
+		return e, false
+	}
+	if external {
 		c.m.Hits++
 		c.tr.Add(obs.CtrStatsHits, 1)
 	}
-	c.mu.Unlock()
+	return e, true
+}
+
+// build materializes the entry's projection, once. On the columnar
+// engine, multi-attribute builds route through the partition of the
+// longest cached prefix: the entry for attrs[:len-1] is obtained —
+// recursively built on a miss, so the recursion walks down to whatever
+// prefix level is already cached (bottoming out at the single attribute,
+// which shares the column's code vector for free) — and only the
+// remaining refinement steps run, via table.ProjectionFrom. Results are
+// bit-identical to a from-scratch build (refinement ids depend only on
+// the partition refined, not on where refinement started); staleness
+// cannot leak in because getEntry revalidates the (pointer, version)
+// pair of every prefix entry on the same terms as the entry itself.
+func (c *Cache) build(e *entry, tab *table.Table, rel string, attrs []string) {
 	e.once.Do(func() {
-		e.proj, e.err = tab.Projection(attrs)
-		if e.err == nil {
-			// A build scans the extension once; multi-attribute
-			// projections additionally run one partition-refinement
-			// pass per attribute beyond the first.
-			c.tr.Add(obs.CtrRowsScanned, int64(tab.Len()))
-			if len(attrs) > 1 {
-				c.tr.Add(obs.CtrRefinements, int64(len(attrs)-1))
+		if len(attrs) > 1 && !c.prefixOff.Load() && tab.Engine() == table.EngineColumnar {
+			pe, hit := c.getEntry(tab, rel, attrs[:len(attrs)-1], false)
+			c.build(pe, tab, rel, attrs[:len(attrs)-1])
+			if pe.err == nil {
+				e.proj, e.err = tab.ProjectionFrom(pe.proj, len(attrs)-1, attrs)
+				if e.err == nil {
+					if hit {
+						c.mu.Lock()
+						c.m.PrefixHits++
+						c.mu.Unlock()
+						c.tr.Add(obs.CtrPrefixHits, 1)
+					}
+					c.noteBuild(tab, e.proj)
+				}
+				return
 			}
 		}
+		e.proj, e.err = tab.Projection(attrs)
+		if e.err == nil {
+			c.noteBuild(tab, e.proj)
+		}
 	})
-	return e, e.err
+}
+
+// noteBuild mirrors one projection build into the observability
+// counters: a build scans the extension once, and the refinement steps
+// it actually executed — only those beyond the reused prefix — are
+// counted and split by remapping strategy.
+func (c *Cache) noteBuild(tab *table.Table, p *table.Projection) {
+	c.tr.Add(obs.CtrRowsScanned, int64(tab.Len()))
+	dense, mapped := p.RefineSteps()
+	if steps := dense + mapped; steps > 0 {
+		c.tr.Add(obs.CtrRefinements, steps)
+		c.tr.Add(obs.CtrRefineDense, dense)
+		c.tr.Add(obs.CtrRefineMap, mapped)
+	}
+}
+
+// SetPrefixReuse toggles prefix-partition reuse (enabled by default).
+// Disabling it makes every multi-attribute build refine from column 0 —
+// the pre-overhaul behavior — which exists for the B12 ablation and the
+// equivalence tests; results are identical either way.
+func (c *Cache) SetPrefixReuse(enabled bool) {
+	c.prefixOff.Store(!enabled)
+}
+
+// AcquireInts hands out an all-zero []int32 of length n from the
+// cache-owned scratch arena, growing the arena only when no pooled
+// buffer is large enough — so steady-state consumers (the FD-check
+// kernels) run allocation-free. Return the buffer with ReleaseInts; the
+// same slice must be returned, not a reslice.
+func (c *Cache) AcquireInts(n int) []int32 {
+	c.arenaMu.Lock()
+	for i := len(c.arena) - 1; i >= 0; i-- {
+		if buf := c.arena[i]; cap(buf) >= n {
+			last := len(c.arena) - 1
+			c.arena[i] = c.arena[last]
+			c.arena[last] = nil
+			c.arena = c.arena[:last]
+			c.arenaMu.Unlock()
+			return buf[:n]
+		}
+	}
+	c.arenaMu.Unlock()
+	return make([]int32, n)
+}
+
+// ReleaseInts returns a buffer obtained from AcquireInts to the arena,
+// re-zeroing it first. Pooled buffers are zero across their full
+// capacity by induction: AcquireInts only exposes [0, n) of a pooled
+// buffer, holders only write inside it, and ReleaseInts clears exactly
+// that window.
+func (c *Cache) ReleaseInts(buf []int32) {
+	if buf == nil {
+		return
+	}
+	clear(buf)
+	c.arenaMu.Lock()
+	c.arena = append(c.arena, buf)
+	c.arenaMu.Unlock()
 }
 
 // RowGroups returns the memoized row → group-id vector of rel over attrs
@@ -248,6 +361,18 @@ func (c *Cache) RowGroups(rel string, attrs []string) ([]int32, int, error) {
 		return nil, 0, err
 	}
 	return e.proj.RowGroup, e.proj.Len(), nil
+}
+
+// GroupVector returns the memoized row → group-id vector of rel over
+// attrs together with the group count and the non-NULL row count — the
+// three quantities the dense FD-check kernel reads, in a single lookup.
+// The caller must treat the slice as read-only.
+func (c *Cache) GroupVector(rel string, attrs []string) (rg []int32, groups, nonNull int, err error) {
+	e, err := c.lookup(rel, attrs)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return e.proj.RowGroup, e.proj.Len(), e.proj.NonNull, nil
 }
 
 // GroupSlices returns the memoized group id → row indexes view of the

@@ -93,12 +93,14 @@ func (t *Table) appendEncoded(row Row) {
 // the dictionary length.
 //
 // Multiple attributes: partition refinement. Starting from the first
-// column's codes, each further column refines the grouping by remapping
-// the pair (current group id, column code) — packed into one int64, the
-// pairwise group-id product — to a fresh dense id in first-occurrence
-// order. By induction the final ids equal the row engine's composite-key
-// ids bit for bit: two rows share a refined id iff they share the prefix
-// tuple, and new ids are assigned in the same first-occurrence row order.
+// column's codes, each further column refines the grouping through the
+// Refiner kernel (refine.go) — remapping the pair (current group id,
+// column code), the pairwise group-id product, to a fresh dense id in
+// first-occurrence order, via either the dense direct-addressed table or
+// the sparse map. By induction the final ids equal the row engine's
+// composite-key ids bit for bit: two rows share a refined id iff they
+// share the prefix tuple, and new ids are assigned in the same
+// first-occurrence row order.
 func (t *Table) columnarProjection(idx []int) *Projection {
 	n := t.nrows
 	if len(idx) == 1 {
@@ -111,42 +113,48 @@ func (t *Table) columnarProjection(idx []int) *Projection {
 		}
 	}
 	g := t.columns[idx[0]].codes[:n:n]
+	return t.refineFrom(g, len(t.columns[idx[0]].dict), idx, 1)
+}
+
+// refineFrom refines the group vector g (groups distinct ids, taken over
+// idx[:from]) by the columns idx[from:] and packages the result. g is
+// read, never written: intermediate steps rotate through the borrowed
+// Refiner's scratch vectors and only the final step writes the vector the
+// Projection retains, so steady-state refinement allocates just the
+// retained result.
+func (t *Table) refineFrom(g []int32, groups int, idx []int, from int) *Projection {
+	n := t.nrows
+	r := acquireRefiner()
 	var reps []int32
-	for step := 1; step < len(idx); step++ {
+	for step := from; step < len(idx); step++ {
 		c := &t.columns[idx[step]]
-		nd := int64(len(c.dict))
-		next := make([]int32, n)
-		remap := make(map[int64]int32)
-		reps = reps[:0]
-		for i := 0; i < n; i++ {
-			gi, ci := g[i], c.codes[i]
-			if gi < 0 || ci < 0 {
-				next[i] = nullCode
-				continue
-			}
-			k := int64(gi)*nd + int64(ci)
-			id, ok := remap[k]
-			if !ok {
-				id = int32(len(remap))
-				remap[k] = id
-				reps = append(reps, int32(i))
-			}
-			next[i] = id
+		var dst []int32
+		if step == len(idx)-1 {
+			dst = make([]int32, n)
+		} else {
+			dst = r.scratchVec(n)
 		}
-		g = next
+		groups, reps = r.Step(dst, g, c.codes[:n:n], groups, len(c.dict))
+		g = dst
 	}
+	repsOut := make([]int32, len(reps))
+	copy(repsOut, reps)
 	nonNull := 0
 	for _, id := range g {
 		if id >= 0 {
 			nonNull++
 		}
 	}
-	return &Projection{
-		RowGroup: g,
-		NonNull:  nonNull,
-		groups:   len(reps),
-		lazy:     &lazyDict{tab: t, idx: idx, reps: reps},
+	p := &Projection{
+		RowGroup:   g,
+		NonNull:    nonNull,
+		groups:     groups,
+		denseSteps: r.denseSteps,
+		mapSteps:   r.mapSteps,
+		lazy:       &lazyDict{tab: t, idx: idx, reps: repsOut},
 	}
+	releaseRefiner(r)
+	return p
 }
 
 // lazyDict defers the projection's key dictionary until a consumer

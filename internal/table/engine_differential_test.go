@@ -232,11 +232,22 @@ func TestEngineDifferential(t *testing.T) {
 			{Name: "d", Type: value.KindDate},
 		})
 	}
-	for seed := int64(0); seed < 20; seed++ {
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			rng := rand.New(rand.NewSource(seed))
-			row, col := buildPair(t, rng, schema(), 40+rng.Intn(120))
-			compareTables(t, row, col)
+	// The sweep covers both remapping strategies of the refinement
+	// kernel: the default budget (dense at these table sizes) and budget
+	// 0, which forces the pre-overhaul map path — the row engine is the
+	// reference for both.
+	for _, budget := range []int64{-1, 0} {
+		budget := budget
+		t.Run(fmt.Sprintf("budget%d", budget), func(t *testing.T) {
+			prev := SetRefineDenseBudget(budget)
+			defer SetRefineDenseBudget(prev)
+			for seed := int64(0); seed < 20; seed++ {
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(seed))
+					row, col := buildPair(t, rng, schema(), 40+rng.Intn(120))
+					compareTables(t, row, col)
+				})
+			}
 		})
 	}
 }

@@ -501,11 +501,22 @@ type Projection struct {
 	NonNull  int     // rows with no NULL among the attributes
 
 	groups int // number of distinct groups
+	// denseSteps/mapSteps record how many refinement steps the build ran
+	// through each remapping strategy (columnar engine only); the stats
+	// cache mirrors them into the observability counters.
+	denseSteps, mapSteps int64
 	// Exactly one dictionary flavor is populated (possibly lazily):
 	// ints for a single all-integer attribute, strs otherwise.
 	strs map[string]int32
 	ints map[int64]int32
 	lazy *lazyDict // non-nil on the columnar engine
+}
+
+// RefineSteps reports how many refinement steps this projection's build
+// executed through the dense direct-addressed strategy and through the
+// sparse map fallback. Zero for single-attribute and row-engine builds.
+func (p *Projection) RefineSteps() (dense, mapped int64) {
+	return p.denseSteps, p.mapSteps
 }
 
 // Len returns the number of distinct groups — the paper's ‖r[X]‖.
@@ -578,6 +589,38 @@ func (t *Table) Projection(attrs []string) (*Projection, error) {
 	p.strs = index
 	p.groups = len(index)
 	return p, nil
+}
+
+// ProjectionFrom builds the projection index over attrs starting from an
+// already-built projection of the prefix attrs[:prefixLen], skipping the
+// refinement steps the prefix already paid for. The prefix must have been
+// built by this table over exactly attrs[:prefixLen]; callers are
+// responsible for staleness (the stats cache validates the table pointer
+// and version before reusing a prefix). As a backstop, a prefix whose row
+// vector no longer matches the table length — every mutation grows it —
+// is ignored and the projection is rebuilt from scratch. Group ids are
+// bit-identical to a from-scratch Projection over attrs: refinement
+// assigns ids in first-occurrence row order at every step, so the result
+// depends only on the partition refined, not on where refinement started
+// (pinned by TestProjectionFromPrefixEquivalence).
+//
+// On the row engine, prefix reuse does not apply and the call is
+// equivalent to Projection(attrs).
+func (t *Table) ProjectionFrom(prefix *Projection, prefixLen int, attrs []string) (*Projection, error) {
+	if prefixLen < 1 || prefixLen > len(attrs) {
+		return nil, fmt.Errorf("table %s: prefix length %d out of range for %v", t.schema.Name, prefixLen, attrs)
+	}
+	if t.columns == nil || prefix == nil || len(prefix.RowGroup) != t.nrows {
+		return t.Projection(attrs)
+	}
+	if prefixLen == len(attrs) {
+		return prefix, nil
+	}
+	idx, err := t.colIndexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	return t.refineFrom(prefix.RowGroup, prefix.groups, idx, prefixLen), nil
 }
 
 // intProjection fills p for a single integer column; false when a

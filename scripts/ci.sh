@@ -30,6 +30,12 @@ go build ./...
 echo "==> go test -race (unit + differential harness + alloc regressions)"
 go test -race ./...
 
+echo "==> allocation regressions (explicit, without -race instrumentation)"
+go test -run 'TestAlloc' ./internal/stats ./internal/obs
+
+echo "==> perf gate: B12 vs BENCH_B12.json"
+./scripts/perfgate.sh
+
 echo "==> fuzz smoke: FuzzLoadSQL (${FUZZTIME})"
 go test -run=^$ -fuzz='^FuzzLoadSQL$' -fuzztime="${FUZZTIME}" ./internal/sql/exec
 

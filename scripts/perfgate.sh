@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Performance gate: re-run the B12 kernel-overhaul experiment and compare
+# its -json metrics against the checked-in BENCH_B12.json baseline via
+# cmd/perfgate — wall-time metrics within a generous multiplicative
+# tolerance (CI machines differ; regressions we care about are step
+# changes, not jitter), allocation metrics as hard ceilings. Regenerate
+# the baseline after an intentional perf change with:
+#
+#   go run ./cmd/bench -run B12 -json BENCH_B12.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${TOLERANCE:-2.0}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> bench -run B12"
+go run ./cmd/bench -run B12 -json "$tmp"
+
+echo "==> perfgate vs BENCH_B12.json (tolerance ${TOLERANCE}x)"
+go run ./cmd/perfgate -id B12 -baseline BENCH_B12.json -current "$tmp" -tolerance "$TOLERANCE"
