@@ -30,6 +30,7 @@ import (
 	"dbre"
 	"dbre/internal/appscan"
 	"dbre/internal/core"
+	"dbre/internal/csvio"
 	"dbre/internal/expert"
 	"dbre/internal/fd"
 	"dbre/internal/ind"
@@ -88,6 +89,7 @@ func registry() []experiment {
 		{"B10", "storage engines: row store vs columnar dictionary encoding", runB10},
 		{"B11", "observability layer: tracing overhead, disabled-path allocations", runB11},
 		{"B12", "refinement kernel overhaul: dense remapping, prefix reuse, pooled scratch", runB12},
+		{"B13", "parallel batched ingest: chunked loaders, columnar appender, dictionary merge", runB13},
 		{"A1", "ablation: transitive equality closure on/off", runA1},
 		{"A2", "ablation: auto-expert inclusion slack sweep on dirty data", runA2},
 		{"A3", "ablation: key inference on keyless dictionaries", runA3},
@@ -1194,5 +1196,165 @@ func runA3(w io.Writer) error {
 	if len(inferred) != 4 {
 		return fmt.Errorf("expected 4 inferred keys, got %v", inferred)
 	}
+	return nil
+}
+
+// dbStateEqual compares two databases through the exported columnar
+// engine surface: row counts, versions, code vectors and dictionaries.
+func dbStateEqual(a, b *table.Database) error {
+	for _, name := range a.Catalog().Names() {
+		ta, tb := a.MustTable(name), b.MustTable(name)
+		if ta.Len() != tb.Len() || ta.Version() != tb.Version() {
+			return fmt.Errorf("%s: rows/version %d/%d vs %d/%d",
+				name, ta.Len(), ta.Version(), tb.Len(), tb.Version())
+		}
+		for c := range ta.Schema().Attrs {
+			ca, cb := ta.ColumnCodes(c), tb.ColumnCodes(c)
+			for i := range ca {
+				if ca[i] != cb[i] {
+					return fmt.Errorf("%s col %d row %d: code %d vs %d", name, c, i, ca[i], cb[i])
+				}
+			}
+			da, db := ta.ColumnDict(c), tb.ColumnDict(c)
+			if len(da) != len(db) {
+				return fmt.Errorf("%s col %d: dict %d vs %d", name, c, len(da), len(db))
+			}
+			for i := range da {
+				if !da[i].Equal(db[i]) {
+					return fmt.Errorf("%s col %d dict %d: %v vs %v", name, c, i, da[i], db[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runB13 measures the batched parallel ingest path end to end: the B12
+// extension (100k fact tuples) is stored as CSV once, then loaded
+// serially and with 8 parse workers; the two loads must produce
+// bit-identical engine state (codes, dictionaries, versions, violation
+// counts — the csvio differential harness pins the same equivalence per
+// input). The speedup figure is informational: it reflects however many
+// cores the benchmark machine actually has (the chunk fan-out serializes
+// on a single-core box). The steady-state appender allocation figure is
+// deterministic and gated by scripts/perfgate.sh against BENCH_B13.json.
+func runB13(w io.Writer) error {
+	spec := workload.DefaultSpec(42)
+	spec.FactRows = 25000 // 4 fact relations ⇒ 100k fact tuples
+	spec.Corruption = 0.02
+	wl := mustWorkload(spec)
+	dir, err := os.MkdirTemp("", "dbre-b13-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := csvio.StoreDirCtx(context.Background(), wl.DB, dir, csvio.Options{Parallelism: 8}); err != nil {
+		return err
+	}
+
+	measure := func(opt csvio.Options) (time.Duration, *table.Database, int, error) {
+		walls := make([]time.Duration, 0, 5)
+		var db *table.Database
+		viol := 0
+		for i := 0; i < cap(walls); i++ {
+			db = table.NewDatabase(wl.DB.Catalog().Clone())
+			runtime.GC()
+			start := time.Now()
+			v, err := csvio.LoadDirCtx(context.Background(), db, dir, false, opt)
+			if err != nil {
+				return 0, nil, 0, err
+			}
+			walls = append(walls, time.Since(start))
+			viol = v
+		}
+		med, _ := medianSpread(walls)
+		return med, db, viol, nil
+	}
+	serialWall, serialDB, serialViol, err := measure(csvio.Options{})
+	if err != nil {
+		return err
+	}
+	parWall, parDB, parViol, err := measure(csvio.Options{Parallelism: 8})
+	if err != nil {
+		return err
+	}
+	if parViol != serialViol {
+		return fmt.Errorf("B13: violation counts diverged: serial %d, parallel %d", serialViol, parViol)
+	}
+	if err := dbStateEqual(serialDB, parDB); err != nil {
+		return fmt.Errorf("B13: parallel load diverged from serial: %w", err)
+	}
+
+	// Ingest observability of one parallel load.
+	tr := obs.NewTracer("b13")
+	ctx := obs.NewContext(context.Background(), tr)
+	db := table.NewDatabase(wl.DB.Catalog().Clone())
+	if _, err := csvio.LoadDirCtx(ctx, db, dir, false, csvio.Options{Parallelism: 8}); err != nil {
+		return err
+	}
+	chunks := tr.Count(obs.CtrIngestChunks)
+	remaps := tr.Count(obs.CtrIngestMergeRemaps)
+	viols := tr.Count(obs.CtrIngestViolations)
+
+	// Steady-state appender allocations: a warmed table absorbing batches
+	// of already-interned values must only pay amortized code-vector
+	// growth (same measurement as TestAllocsAppendBatchSteady).
+	s := relation.MustSchema("R", []relation.Attribute{
+		{Name: "a", Type: value.KindInt},
+		{Name: "b", Type: value.KindInt},
+		{Name: "c", Type: value.KindString},
+	})
+	tab := table.New(s)
+	const batch = 256
+	rows := make([]table.Row, batch)
+	for i := range rows {
+		rows[i] = table.Row{
+			value.NewInt(int64(i % 17)),
+			value.NewInt(int64(i % 5)),
+			value.NewString([]string{"x", "y", "z"}[i%3]),
+		}
+	}
+	enc := table.NewChunkEncoder(tab)
+	ap := tab.NewAppender()
+	appendOnce := func() error {
+		enc.Reset()
+		for _, r := range rows {
+			if err := enc.AppendRow(r); err != nil {
+				return err
+			}
+		}
+		_, err := ap.AppendBatch(enc, false)
+		return err
+	}
+	if err := appendOnce(); err != nil { // warm dictionaries and scratch
+		return err
+	}
+	const ops = 200
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	m0 := m.Mallocs
+	for i := 0; i < ops; i++ {
+		if err := appendOnce(); err != nil {
+			return err
+		}
+	}
+	runtime.ReadMemStats(&m)
+	appendAllocs := float64(m.Mallocs-m0) / ops
+
+	speedup := float64(serialWall) / float64(parWall)
+	printTable(w, []string{"ingest path", "LoadDir wall (median of 5)", "violations"}, [][]string{
+		{"serial (row-at-a-time Insert)", serialWall.Round(time.Microsecond).String(), fmt.Sprint(serialViol)},
+		{"parallel (8 workers, batch merge)", parWall.Round(time.Microsecond).String(), fmt.Sprint(parViol)},
+	})
+	fmt.Fprintf(w, "  load speedup %.2fx on %d CPU(s) (scales with cores; identical state either way)\n",
+		speedup, runtime.NumCPU())
+	fmt.Fprintf(w, "  ingest: %d chunks, %d dictionary remaps, %d violations tolerated\n", chunks, remaps, viols)
+	fmt.Fprintf(w, "  steady-state appender: %.4f allocs per %d-row batch\n", appendAllocs, batch)
+	record("serial_load_ms", float64(serialWall.Microseconds())/1000)
+	record("parallel_load_ms", float64(parWall.Microseconds())/1000)
+	record("load_speedup", speedup)
+	record("ingest_chunks", float64(chunks))
+	record("ingest_merge_remaps", float64(remaps))
+	record("append_allocs_per_op", appendAllocs)
 	return nil
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ func run(args []string, out io.Writer) error {
 	drop := fs.Float64("drop", 0.3, "probability an embedded dimension is dropped")
 	corruption := fs.Float64("corruption", 0, "fraction of dangling foreign keys")
 	progs := fs.Int("programs", 1, "programs per join")
+	parallel := fs.Int("parallel", 0, "concurrent relation writers for the CSV extension (0 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,7 +68,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	// Extension.
-	if err := dbre.StoreCSVDir(w.DB, filepath.Join(*outDir, "data")); err != nil {
+	if err := dbre.StoreCSVDirCtx(context.Background(), w.DB, filepath.Join(*outDir, "data"), *parallel); err != nil {
 		return err
 	}
 	// Programs.

@@ -54,7 +54,7 @@ func run(args []string, out io.Writer) error {
 	outSchema := fs.String("out-schema", "", "write the restructured schema + constraints as SQL DDL to this file")
 	noClosure := fs.Bool("no-closure", false, "disable transitive closure of equality chains")
 	inferKeys := fs.Bool("infer-keys", false, "infer data-supported keys for relations without UNIQUE declarations")
-	parallel := fs.Int("parallel", 0, "IND-Discovery counting workers (0 = serial; results identical)")
+	parallel := fs.Int("parallel", 0, "CSV-ingest and IND-Discovery counting workers (0 = serial; results identical)")
 	slack := fs.Float64("slack", 0.98, "auto expert: near-inclusion forcing threshold")
 	tolerate := fs.Float64("tolerate", 0, "auto expert: max FD violation rate still enforced")
 	tracePath := fs.String("trace", "", "write a JSON execution trace (spans + counters) to this file")
@@ -91,7 +91,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *data != "" {
-		violations, err := dbre.LoadCSVDir(db, *data)
+		violations, err := dbre.LoadCSVDirCtx(ctx, db, *data, *parallel)
 		if err != nil {
 			return err
 		}

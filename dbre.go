@@ -146,10 +146,26 @@ func LoadCSVDir(db *Database, dir string) (violations int, err error) {
 	return csvio.LoadDir(db, dir, false)
 }
 
+// LoadCSVDirCtx is LoadCSVDir with parallel batched ingest: relations and
+// record-aligned chunks within each file are parsed on up to parallelism
+// workers (0 or 1 = serial) and merged through the columnar batch
+// appender. The loaded engine state is identical to the serial loader's
+// at any setting. A tracer installed in ctx (WithTracer) observes ingest
+// spans and the ingest-* counters.
+func LoadCSVDirCtx(ctx context.Context, db *Database, dir string, parallelism int) (violations int, err error) {
+	return csvio.LoadDirCtx(ctx, db, dir, false, csvio.Options{Parallelism: parallelism})
+}
+
 // StoreCSVDir writes every relation of the database to <relation>.csv
 // files in dir — e.g. to persist a restructured extension.
 func StoreCSVDir(db *Database, dir string) error {
 	return csvio.StoreDir(db, dir)
+}
+
+// StoreCSVDirCtx is StoreCSVDir writing up to parallelism relations
+// concurrently (0 or 1 = serial).
+func StoreCSVDirCtx(ctx context.Context, db *Database, dir string, parallelism int) error {
+	return csvio.StoreDirCtx(ctx, db, dir, csvio.Options{Parallelism: parallelism})
 }
 
 // ScanProgramsDir walks a directory of application programs (.sql, .cob,

@@ -57,7 +57,10 @@ type Options struct {
 	InferKeys bool
 	// Parallelism fans the counting phases — IND-Discovery's join counts
 	// and RHS-Discovery's A → b checks — over this many workers (0 =
-	// serial). Results are identical to the serial run.
+	// serial). Results are identical to the serial run. Callers loading
+	// the extension themselves (cmd/dbre) reuse the same setting for the
+	// batched CSV ingest (csvio.Options.Parallelism), which carries the
+	// identical-results guarantee end to end.
 	Parallelism int
 	// NoStatsCache disables the per-database column-statistics cache and
 	// runs the uncached reference implementations of every counting

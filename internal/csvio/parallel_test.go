@@ -1,0 +1,321 @@
+package csvio
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbre/internal/core"
+	"dbre/internal/obs"
+	"dbre/internal/relation"
+	"dbre/internal/table"
+	"dbre/internal/workload"
+)
+
+// The differential harness: every test here loads the same bytes through
+// the serial loader and the parallel loader and requires identical
+// results — violation counts, error strings, and engine state down to the
+// dictionary codes (which also pins dictionary assignment order, the part
+// the merge step could most plausibly scramble).
+
+// tableStateDiff compares two tables through the exported engine-state
+// surface: row count, version, per-column code vectors and dictionaries,
+// and the exact bytes Store would emit. "" means identical.
+func tableStateDiff(a, b *table.Table) string {
+	if a.Len() != b.Len() {
+		return fmt.Sprintf("rows %d vs %d", a.Len(), b.Len())
+	}
+	if a.Version() != b.Version() {
+		return fmt.Sprintf("version %d vs %d", a.Version(), b.Version())
+	}
+	for c := range a.Schema().Attrs {
+		ca, cb := a.ColumnCodes(c), b.ColumnCodes(c)
+		if len(ca) != len(cb) {
+			return fmt.Sprintf("col %d: %d vs %d codes", c, len(ca), len(cb))
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				return fmt.Sprintf("col %d row %d: code %d vs %d", c, i, ca[i], cb[i])
+			}
+		}
+		da, db := a.ColumnDict(c), b.ColumnDict(c)
+		if len(da) != len(db) {
+			return fmt.Sprintf("col %d: dict %d vs %d", c, len(da), len(db))
+		}
+		for i := range da {
+			if !da[i].Equal(db[i]) {
+				return fmt.Sprintf("col %d: dict[%d] %v vs %v", c, i, da[i], db[i])
+			}
+		}
+	}
+	var ba, bb bytes.Buffer
+	if err := Store(a, &ba); err != nil {
+		return fmt.Sprintf("store a: %v", err)
+	}
+	if err := Store(b, &bb); err != nil {
+		return fmt.Sprintf("store b: %v", err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		return "store bytes differ"
+	}
+	return ""
+}
+
+func dbStateDiff(a, b *table.Database) string {
+	for _, name := range a.Catalog().Names() {
+		if d := tableStateDiff(a.MustTable(name), b.MustTable(name)); d != "" {
+			return name + ": " + d
+		}
+	}
+	return ""
+}
+
+// genCSV writes a random Person extension with plenty of duplicate keys,
+// NULL keys, quoted fields (commas, quotes, newlines) and blank lines —
+// everything the chunk splitter and the violation post-pass must agree
+// with the serial loader on.
+func genCSV(rng *rand.Rand, nrows int) string {
+	var raw bytes.Buffer
+	w := csv.NewWriter(&raw)
+	w.Write([]string{"id", "name", "salary", "hired"})
+	names := []string{"Alice", "Bob", "quote\"inside", "comma,inside", "multi\nline", ""}
+	for i := 0; i < nrows; i++ {
+		id := ""
+		if rng.Intn(10) != 0 { // 10% NULL keys
+			id = fmt.Sprint(rng.Intn(nrows / 2)) // ~2x dup rate
+		}
+		sal := ""
+		if rng.Intn(3) != 0 {
+			sal = fmt.Sprintf("%d.%d", rng.Intn(100), rng.Intn(10))
+		}
+		hired := ""
+		if rng.Intn(4) != 0 {
+			hired = fmt.Sprintf("19%02d-0%d-1%d", rng.Intn(100), 1+rng.Intn(9), rng.Intn(10))
+		}
+		w.Write([]string{id, names[rng.Intn(len(names))], sal, hired})
+	}
+	w.Flush()
+	// Sprinkle blank lines between records (csv skips them; line
+	// arithmetic in both loaders counts records, and this pins that).
+	lines := strings.SplitAfter(raw.String(), "\n")
+	var out strings.Builder
+	for i, l := range lines {
+		out.WriteString(l)
+		if i > 0 && i%17 == 0 {
+			out.WriteString("\n")
+		}
+	}
+	return out.String()
+}
+
+var parallelGrid = []Options{
+	{Parallelism: 2, ChunkBytes: 64},
+	{Parallelism: 4, ChunkBytes: 256},
+	{Parallelism: 8, ChunkBytes: 1024},
+	{Parallelism: 8}, // default chunk sizing
+}
+
+// TestParallelLoadDifferential: tolerant loads over random dirty CSVs.
+func TestParallelLoadDifferential(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := genCSV(rng, 120+rng.Intn(300))
+		ref := table.New(schema())
+		refViol, err := Load(ref, strings.NewReader(src), false)
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+		for _, opt := range parallelGrid {
+			got := table.New(schema())
+			gotViol, err := LoadCtx(context.Background(), got, strings.NewReader(src), false, opt)
+			if err != nil {
+				t.Fatalf("seed %d %+v: %v", seed, opt, err)
+			}
+			if gotViol != refViol {
+				t.Fatalf("seed %d %+v: %d violations, want %d", seed, opt, gotViol, refViol)
+			}
+			if d := tableStateDiff(ref, got); d != "" {
+				t.Fatalf("seed %d %+v: %s", seed, opt, d)
+			}
+		}
+	}
+}
+
+// TestParallelLoadStrict: strict loads must fail with the identical error
+// string (including the line number recovered across chunk boundaries)
+// and leave the identical partial state.
+func TestParallelLoadStrict(t *testing.T) {
+	for seed := int64(10); seed < 16; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := genCSV(rng, 150)
+		ref := table.New(schema())
+		_, refErr := Load(ref, strings.NewReader(src), true)
+		for _, opt := range parallelGrid {
+			got := table.New(schema())
+			_, gotErr := LoadCtx(context.Background(), got, strings.NewReader(src), true, opt)
+			if (refErr == nil) != (gotErr == nil) {
+				t.Fatalf("seed %d %+v: err %v, want %v", seed, opt, gotErr, refErr)
+			}
+			if refErr != nil && refErr.Error() != gotErr.Error() {
+				t.Fatalf("seed %d %+v: err %q, want %q", seed, opt, gotErr, refErr)
+			}
+			if d := tableStateDiff(ref, got); d != "" {
+				t.Fatalf("seed %d %+v: %s", seed, opt, d)
+			}
+		}
+	}
+}
+
+// TestParallelLoadParseFallback: a malformed field routes the parallel
+// loader to the serial fallback, which must reproduce the serial error
+// and partial state byte for byte.
+func TestParallelLoadParseFallback(t *testing.T) {
+	srcs := []string{
+		"id,name\n1,A\n2,B\nnotanint,C\n4,D\n",       // value parse error
+		"id,name\n1,A\n2,B,extra\n3,C\n",             // field count mismatch
+		"id,name\n1,A\n\"unterminated,B\n3,C\n4,D\n", // csv syntax error
+	}
+	for si, src := range srcs {
+		for _, strict := range []bool{true, false} {
+			ref := table.New(schema())
+			refViol, refErr := Load(ref, strings.NewReader(src), strict)
+			if refErr == nil {
+				t.Fatalf("src %d: serial accepted bad input", si)
+			}
+			for _, opt := range parallelGrid {
+				got := table.New(schema())
+				gotViol, gotErr := LoadCtx(context.Background(), got, strings.NewReader(src), strict, opt)
+				if gotErr == nil || gotErr.Error() != refErr.Error() {
+					t.Fatalf("src %d strict=%v %+v: err %q, want %q", si, strict, opt, gotErr, refErr)
+				}
+				if gotViol != refViol {
+					t.Fatalf("src %d strict=%v %+v: %d violations, want %d", si, strict, opt, gotViol, refViol)
+				}
+				if d := tableStateDiff(ref, got); d != "" {
+					t.Fatalf("src %d strict=%v %+v: %s", si, strict, opt, d)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitRecordsQuoteParity pins the splitter invariant directly: every
+// chunk boundary falls on a record boundary even when quoted fields
+// contain newlines, escaped quotes and commas.
+func TestSplitRecordsQuoteParity(t *testing.T) {
+	body := []byte("1,\"a\nb\"\n2,\"c\"\"d\"\n3,plain\n4,\"e,f\n\ng\"\n5,x\n")
+	for target := 1; target < len(body)+4; target++ {
+		chunks := splitRecords(body, target)
+		var joined []byte
+		records := 0
+		for _, ch := range chunks {
+			joined = append(joined, ch...)
+			cr := csv.NewReader(bytes.NewReader(ch))
+			cr.FieldsPerRecord = -1
+			for {
+				rec, err := cr.Read()
+				if err != nil {
+					break
+				}
+				_ = rec
+				records++
+			}
+		}
+		if !bytes.Equal(joined, body) {
+			t.Fatalf("target %d: chunks do not concatenate to body", target)
+		}
+		if records != 5 {
+			t.Fatalf("target %d: %d records across chunks, want 5", target, records)
+		}
+	}
+}
+
+// TestLoadDirParallelDifferential: whole-directory loads over a generated
+// workload, serial vs parallel, including the pipeline report run on top —
+// the end-to-end "bit-identical engine state" claim.
+func TestLoadDirParallelDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload generation")
+	}
+	spec := workload.DefaultSpec(4242)
+	spec.FactRows = 600
+	spec.DimensionRows = 80
+	spec.Corruption = 0.05
+	wl, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := StoreDirCtx(context.Background(), wl.DB, dir, Options{Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Each database gets its own catalog clone: the pipeline's Restruct
+	// phase registers projection relations into the catalog it is handed,
+	// so sharing one across runs would contaminate the comparison.
+	serialDB := table.NewDatabase(wl.DB.Catalog().Clone())
+	serialViol, err := LoadDir(serialDB, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stored copy of the generator's database must load back equal.
+	if d := dbStateDiff(wl.DB, serialDB); d != "" {
+		t.Fatalf("store/load round trip: %s", d)
+	}
+	tracer := obs.NewTracer("ingest-test")
+	ctx := obs.NewContext(context.Background(), tracer)
+	parDB := table.NewDatabase(wl.DB.Catalog().Clone())
+	parViol, err := LoadDirCtx(ctx, parDB, dir, false, Options{Parallelism: 8, ChunkBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parViol != serialViol {
+		t.Fatalf("violations %d, want %d", parViol, serialViol)
+	}
+	if d := dbStateDiff(serialDB, parDB); d != "" {
+		t.Fatal(d)
+	}
+	if tracer.Count(obs.CtrIngestChunks) == 0 {
+		t.Error("ingest-chunks counter not incremented")
+	}
+	if tracer.Count(obs.CtrIngestMergeRemaps) == 0 {
+		t.Error("ingest-merge-remaps counter not incremented")
+	}
+
+	reportBody := func(db *table.Database) string {
+		rep, err := core.Run(db, wl.Programs, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := rep.Text()
+		if i := strings.Index(text, "\nTimings\n"); i >= 0 {
+			text = text[:i] // timings are wall-clock, everything else is structural
+		}
+		return text
+	}
+	if a, b := reportBody(serialDB), reportBody(parDB); a != b {
+		t.Error("pipeline reports differ between serial- and parallel-loaded databases")
+	}
+}
+
+// TestLoadDirOpenOnce: a directory entry that is not a readable file must
+// surface as an error, not be skipped — only genuine absence means "stays
+// empty". (The Stat-then-Open race this replaces could misclassify both.)
+func TestLoadDirOpenOnce(t *testing.T) {
+	dir := t.TempDir()
+	cat := relation.MustCatalog(schema())
+	db := table.NewDatabase(cat)
+	// Person.csv as a *directory*: os.Open succeeds, first read errors.
+	// The loader must report it rather than silently skipping.
+	if err := os.Mkdir(filepath.Join(dir, "Person.csv"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(db, dir, true); err == nil {
+		t.Error("unreadable Person.csv silently skipped")
+	}
+}

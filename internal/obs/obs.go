@@ -73,6 +73,13 @@ const (
 	// CtrPrefixHits counts multi-attribute projection builds that started
 	// from an already-cached prefix partition instead of column 0.
 	CtrPrefixHits
+	// CtrIngestChunks counts CSV chunks parsed by the batched loaders;
+	// CtrIngestMergeRemaps counts chunk-dictionary entries remapped into
+	// global dictionary codes during batch merges; CtrIngestViolations
+	// counts constraint violations tolerated by non-strict ingest.
+	CtrIngestChunks
+	CtrIngestMergeRemaps
+	CtrIngestViolations
 
 	numCounters
 )
@@ -94,6 +101,9 @@ var counterNames = [numCounters]string{
 	"refine-dense-steps",
 	"refine-map-steps",
 	"prefix-partition-hits",
+	"ingest-chunks",
+	"ingest-merge-remaps",
+	"ingest-violations",
 }
 
 // String returns the counter's stable exported name.

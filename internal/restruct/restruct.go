@@ -2,6 +2,7 @@ package restruct
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"dbre/internal/deps"
@@ -200,6 +201,7 @@ func createProjection(db *table.Database, rel string, lhs, rhs relation.AttrSet,
 		return "", err
 	}
 	seen := make(map[string]bool, len(rows))
+	enc := table.NewChunkEncoder(dstTab)
 	for _, row := range rows {
 		kk := keyOfRow(row, lhsIdx)
 		if kk == "" {
@@ -212,9 +214,16 @@ func createProjection(db *table.Database, rel string, lhs, rhs relation.AttrSet,
 			continue
 		}
 		seen[kk] = true
-		if err := dstTab.Insert(table.Row(row)); err != nil {
+		if err := enc.AppendRow(table.Row(row)); err != nil {
 			return "", fmt.Errorf("restruct: populating %s: %w", name, err)
 		}
+	}
+	if _, err := dstTab.NewAppender().AppendBatch(enc, true); err != nil {
+		var be *table.BatchError
+		if errors.As(err, &be) {
+			err = be.Err
+		}
+		return "", fmt.Errorf("restruct: populating %s: %w", name, err)
 	}
 	return name, nil
 }
@@ -256,10 +265,18 @@ func dropAttrs(db *table.Database, rel string, drop relation.AttrSet) error {
 		return err
 	}
 	dst := db.MustTable(rel)
+	enc := table.NewChunkEncoder(dst)
 	for _, row := range rows {
-		if err := dst.Insert(table.Row(row)); err != nil {
+		if err := enc.AppendRow(table.Row(row)); err != nil {
 			return fmt.Errorf("restruct: projecting %s: %w", rel, err)
 		}
+	}
+	if _, err := dst.NewAppender().AppendBatch(enc, true); err != nil {
+		var be *table.BatchError
+		if errors.As(err, &be) {
+			err = be.Err
+		}
+		return fmt.Errorf("restruct: projecting %s: %w", rel, err)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -172,36 +173,64 @@ func execInsert(db *table.Database, s *ast.Insert) error {
 		}
 		colIdx[i] = idx
 	}
+	// Rows are encoded into one batch per statement and committed through
+	// the table's batch appender (multi-row INSERTs are how dictionary
+	// dumps arrive). Strict AppendBatch reproduces Insert's sequential
+	// semantics; a row that fails to *build* flushes the pending batch
+	// first, so a constraint violation in an earlier row still wins —
+	// exactly the serial row-by-row error order.
+	enc := table.NewChunkEncoder(tab)
+	ap := tab.NewAppender()
+	flush := func() error {
+		if enc.Len() == 0 {
+			return nil
+		}
+		if _, err := ap.AppendBatch(enc, true); err != nil {
+			var be *table.BatchError
+			if errors.As(err, &be) {
+				return be.Err
+			}
+			return err
+		}
+		enc.Reset()
+		return nil
+	}
+	fail := func(buildErr error) error {
+		if err := flush(); err != nil {
+			return err
+		}
+		return buildErr
+	}
+	row := make(table.Row, len(schema.Attrs))
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(cols) {
-			return fmt.Errorf("exec: INSERT into %s: %d values for %d columns", s.Table, len(exprRow), len(cols))
+			return fail(fmt.Errorf("exec: INSERT into %s: %d values for %d columns", s.Table, len(exprRow), len(cols)))
 		}
-		row := make(table.Row, len(schema.Attrs))
 		for i := range row {
 			row[i] = value.Null
 		}
 		for i, e := range exprRow {
-			lit, ok := e.(ast.Literal)
-			if !ok {
-				return fmt.Errorf("exec: INSERT into %s: non-literal value %s", s.Table, e)
+			lit, isLit := e.(ast.Literal)
+			if !isLit {
+				return fail(fmt.Errorf("exec: INSERT into %s: non-literal value %s", s.Table, e))
 			}
 			v := lit.Val
 			if !v.IsNull() {
 				want := schema.Attrs[colIdx[i]].Type
-				coerced, ok := value.Coerce(v, want)
-				if !ok {
-					return fmt.Errorf("exec: INSERT into %s.%s: cannot coerce %s to %v",
-						s.Table, cols[i], v.SQL(), want)
+				coerced, canCoerce := value.Coerce(v, want)
+				if !canCoerce {
+					return fail(fmt.Errorf("exec: INSERT into %s.%s: cannot coerce %s to %v",
+						s.Table, cols[i], v.SQL(), want))
 				}
 				v = coerced
 			}
 			row[colIdx[i]] = v
 		}
-		if err := tab.Insert(row); err != nil {
-			return err
+		if err := enc.AppendRow(row); err != nil {
+			return fail(err)
 		}
 	}
-	return nil
+	return flush()
 }
 
 // binding is one FROM-clause table instance with its current row. buf is

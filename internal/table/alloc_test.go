@@ -1,0 +1,67 @@
+package table_test
+
+import (
+	"testing"
+
+	"dbre/internal/relation"
+	"dbre/internal/table"
+	"dbre/internal/value"
+)
+
+// Allocation-regression test for the batch appender's steady state: once
+// every value in a batch is already interned, appending must cost only
+// the amortized growth of the code vectors — no per-row map probes that
+// allocate, no per-row boxing, no per-batch scratch churn (the encoder,
+// the remap table and the violation bitmap are all reused). The bound is
+// a ceiling, not an exact count: amortized slice growth lands a handful
+// of allocations per op at this batch size.
+
+func allocsPerOp(f func()) int64 {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+	})
+	return res.AllocsPerOp()
+}
+
+func TestAllocsAppendBatchSteady(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	schema := relation.MustSchema("R", []relation.Attribute{
+		{Name: "a", Type: value.KindInt},
+		{Name: "b", Type: value.KindInt},
+		{Name: "c", Type: value.KindString},
+	})
+	tab := table.New(schema)
+	const batch = 256
+	rows := make([]table.Row, batch)
+	strs := []value.Value{value.NewString("x"), value.NewString("y"), value.NewString("z")}
+	for i := range rows {
+		rows[i] = table.Row{
+			value.NewInt(int64(i % 17)),
+			value.NewInt(int64(i % 5)),
+			strs[i%len(strs)],
+		}
+	}
+	enc := table.NewChunkEncoder(tab)
+	ap := tab.NewAppender()
+	appendOnce := func() {
+		enc.Reset()
+		for _, r := range rows {
+			if err := enc.AppendRow(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := ap.AppendBatch(enc, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up: intern every value and size the reusable scratch.
+	appendOnce()
+	if got := allocsPerOp(appendOnce); got > 12 {
+		t.Errorf("steady-state AppendBatch: %d allocs per %d-row batch, want <= 12", got, batch)
+	}
+}

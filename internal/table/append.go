@@ -1,0 +1,436 @@
+// Batched ingest. A ChunkEncoder parses one chunk of input rows into
+// chunk-local dictionary codes — independently of every other chunk, so
+// loaders can fan chunks across workers — and Appender.AppendBatch
+// merges finished chunks into the table: chunk dictionaries are interned
+// into the global ones once per *distinct* value and a dense remap table
+// translates the chunk's codes, so the per-row hot path is an int32 array
+// lookup instead of a value.Key hash probe. Constraint enforcement
+// (NOT NULL, UNIQUE) runs as a columnar post-pass over the merged rows,
+// by dictionary code (see uniq.go), and reproduces Table.Insert's
+// sequential semantics exactly: identical violation counts and phantom
+// registrations in non-strict loads, identical first-error state in
+// strict ones. The differential harness in internal/csvio pins this
+// equivalence down to the bytes of the engine state.
+package table
+
+import (
+	"fmt"
+
+	"dbre/internal/relation"
+	"dbre/internal/value"
+)
+
+// BatchError is the error AppendBatch returns in strict mode: the
+// Insert-equivalent constraint error plus the batch-relative index of
+// the violating row, so loaders can report exact line numbers.
+type BatchError struct {
+	Row int   // batch-relative index of the violating row
+	Err error // the error Insert would have returned for it
+}
+
+func (e *BatchError) Error() string { return e.Err.Error() }
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// AppendStats accumulates ingest observability counters across the
+// batches an Appender has merged.
+type AppendStats struct {
+	Batches    int64 // AppendBatch calls
+	Rows       int64 // rows offered across all batches
+	Remaps     int64 // chunk-dictionary entries remapped to global codes
+	Violations int64 // constraint violations (non-strict mode)
+}
+
+// ChunkEncoder accumulates rows of one chunk in columnar form with a
+// chunk-local dictionary per attribute. Not safe for concurrent use;
+// each worker owns one. Rows are coerced to the schema's attribute
+// types exactly as Insert does; NOT NULL and UNIQUE checking is
+// deferred to AppendBatch's post-pass.
+type ChunkEncoder struct {
+	schema  *relation.Schema
+	cols    []column
+	n       int
+	scratch Row
+}
+
+// NewChunkEncoder creates an encoder for t's schema.
+func NewChunkEncoder(t *Table) *ChunkEncoder {
+	return &ChunkEncoder{
+		schema:  t.schema,
+		cols:    make([]column, len(t.schema.Attrs)),
+		scratch: make(Row, len(t.schema.Attrs)),
+	}
+}
+
+// Len reports the number of rows encoded so far.
+func (e *ChunkEncoder) Len() int { return e.n }
+
+// Reset discards the encoded rows and dictionaries so the encoder can
+// be reused for another chunk of the same relation. Capacity is
+// retained: codes, dictionaries and intern maps keep their backing
+// storage, so a worker cycling through chunks stops allocating once its
+// encoder has seen a full-sized chunk.
+func (e *ChunkEncoder) Reset() {
+	for i := range e.cols {
+		c := &e.cols[i]
+		c.codes = c.codes[:0]
+		c.dict = c.dict[:0]
+		clear(c.ints)
+		clear(c.keys)
+		c.nonNull = 0
+		c.nonInt = false
+	}
+	e.n = 0
+}
+
+// AppendRow encodes one row into the chunk. It fails only on arity or
+// type errors (with Insert's error text); the row is not stored then.
+func (e *ChunkEncoder) AppendRow(row Row) error {
+	if len(row) != len(e.schema.Attrs) {
+		return fmt.Errorf("table %s: arity %d, want %d", e.schema.Name, len(row), len(e.schema.Attrs))
+	}
+	for i, a := range e.schema.Attrs {
+		v := row[i]
+		if !v.IsNull() && v.Kind() != a.Type {
+			coerced, ok := value.Coerce(v, a.Type)
+			if !ok {
+				return fmt.Errorf("table %s: attribute %s: cannot store %v as %v",
+					e.schema.Name, a.Name, v.Kind(), a.Type)
+			}
+			v = coerced
+		}
+		e.scratch[i] = v
+	}
+	for i := range e.cols {
+		c := &e.cols[i]
+		c.codes = append(c.codes, c.encode(e.scratch[i]))
+	}
+	e.n++
+	return nil
+}
+
+// row decodes the i-th encoded row into buf.
+func (e *ChunkEncoder) row(i int, buf Row) Row {
+	for ci := range e.cols {
+		c := &e.cols[ci]
+		if code := c.codes[i]; code >= 0 {
+			buf[ci] = c.dict[code]
+		} else {
+			buf[ci] = value.Null
+		}
+	}
+	return buf
+}
+
+// Appender merges ChunkEncoder batches into one table. It owns the
+// reusable merge scratch (remap table, violation flags, key buffers), so
+// steady-state appends allocate only for genuinely new dictionary
+// entries and storage growth. Not safe for concurrent use; batches of a
+// parallel load are committed by one goroutine in chunk order, which is
+// what makes the merged state independent of worker scheduling.
+type Appender struct {
+	t     *Table
+	stats AppendStats
+
+	remap   []int32
+	viol    []bool
+	codeBuf []int32
+	keyBuf  []byte
+	// Pre-merge column state, captured per batch for the strict-mode
+	// rollback: dictionary length, nonNull count and nonInt flag.
+	baseDict    []int
+	baseNonNull []int
+	baseNonInt  []bool
+	baseVersion uint64
+}
+
+// NewAppender creates an appender for t.
+func (t *Table) NewAppender() *Appender { return &Appender{t: t} }
+
+// Stats returns the accumulated ingest counters.
+func (a *Appender) Stats() AppendStats { return a.stats }
+
+// AppendBatch merges an encoded chunk into the table.
+//
+// strict=false mirrors the tolerant loader: rows violating NOT NULL or
+// UNIQUE are retained anyway and counted, exactly as a per-row
+// Insert-then-InsertUnchecked load would leave them.
+//
+// strict=true mirrors Insert's all-or-nothing-per-row semantics: on the
+// first violating row the batch is rolled back to just before it (rows
+// preceding it in the batch stay, as if inserted one by one) and a
+// *BatchError carrying the Insert-equivalent error is returned.
+//
+// On the row engine the batch degrades to per-row Insert — the row
+// engine is the reference implementation and keeps its original code
+// path bit for bit.
+func (a *Appender) AppendBatch(b *ChunkEncoder, strict bool) (violations int, err error) {
+	t := a.t
+	if b.schema != t.schema {
+		return 0, fmt.Errorf("table %s: batch encoded for schema %s", t.schema.Name, b.schema.Name)
+	}
+	a.stats.Batches++
+	a.stats.Rows += int64(b.n)
+	if t.columns == nil {
+		return a.appendRows(b, strict)
+	}
+	if b.n == 0 {
+		return 0, nil
+	}
+	base := t.nrows
+	nc := len(t.columns)
+	a.baseDict = resizeInts(a.baseDict, nc)
+	a.baseNonNull = resizeInts(a.baseNonNull, nc)
+	if cap(a.baseNonInt) < nc {
+		a.baseNonInt = make([]bool, nc)
+	}
+	a.baseNonInt = a.baseNonInt[:nc]
+	a.baseVersion = t.version
+	// Merge: intern each chunk-dictionary entry once (chunk dictionaries
+	// are in first-occurrence order, and batches commit in row order, so
+	// the global dictionaries keep exact first-occurrence order), then
+	// translate the chunk's codes through the dense remap table.
+	for ci := range t.columns {
+		gc := &t.columns[ci]
+		cc := &b.cols[ci]
+		a.baseDict[ci] = len(gc.dict)
+		a.baseNonNull[ci] = gc.nonNull
+		a.baseNonInt[ci] = gc.nonInt
+		remap := a.remap
+		if cap(remap) < len(cc.dict) {
+			remap = make([]int32, len(cc.dict))
+			a.remap = remap
+		}
+		remap = remap[:len(cc.dict)]
+		for li, v := range cc.dict {
+			remap[li] = gc.intern(v)
+		}
+		a.stats.Remaps += int64(len(cc.dict))
+		gc.codes = append(gc.codes, cc.codes...)
+		out := gc.codes[base:]
+		for i, code := range out {
+			if code >= 0 {
+				out[i] = remap[code]
+			}
+		}
+		gc.nonNull += cc.nonNull
+		if cc.nonInt {
+			gc.nonInt = true
+		}
+	}
+	t.nrows += b.n
+	t.version += uint64(b.n)
+	return a.checkAppended(base, strict)
+}
+
+// appendRows is the row-engine fallback: the reference per-row path.
+func (a *Appender) appendRows(b *ChunkEncoder, strict bool) (int, error) {
+	t := a.t
+	buf := make(Row, len(b.cols))
+	violations := 0
+	for i := 0; i < b.n; i++ {
+		row := b.row(i, buf)
+		if err := t.Insert(row); err != nil {
+			if strict {
+				return violations, &BatchError{Row: i, Err: err}
+			}
+			violations++
+			a.stats.Violations++
+			t.InsertUnchecked(row)
+		}
+	}
+	return violations, nil
+}
+
+// checkAppended is the columnar constraint post-pass over the merged
+// rows [base, t.nrows): NOT NULL column scans first, then the UNIQUE
+// probes row-major in row order — registration order matters, because a
+// row's key must be visible to the duplicates that follow it.
+func (a *Appender) checkAppended(base int, strict bool) (int, error) {
+	t := a.t
+	nb := t.nrows - base
+	viol := a.viol
+	if cap(viol) < nb {
+		viol = make([]bool, nb)
+	}
+	viol = viol[:nb]
+	for i := range viol {
+		viol[i] = false
+	}
+	a.viol = viol
+	for ci := range t.schema.Attrs {
+		if !t.schema.Attrs[ci].NotNull {
+			continue
+		}
+		codes := t.columns[ci].codes[base:]
+		for i, code := range codes {
+			if code < 0 {
+				viol[i] = true
+			}
+		}
+	}
+	violations := 0
+	for i := 0; i < nb; i++ {
+		row := base + i
+		if viol[i] {
+			// A NOT NULL failure precedes every key check, so the row
+			// leaves no registrations — exactly Insert's early return.
+			if strict {
+				err := a.notNullError(row)
+				a.rollback(base, row, 0)
+				return violations, &BatchError{Row: i, Err: err}
+			}
+			violations++
+			a.stats.Violations++
+			continue
+		}
+		failedAt := -1
+		var ferr error
+		for ui, u := range t.uniq {
+			codes, nullKey := a.gatherCodes(u, row)
+			if nullKey {
+				ferr = fmt.Errorf("table %s: NULL in key %v", t.schema.Name, t.schema.Uniques[ui])
+				failedAt = ui
+				break
+			}
+			if prev, dup := u.probeCodes(codes, &a.keyBuf); dup {
+				ferr = fmt.Errorf("table %s: UNIQUE(%v) violated by row %d", t.schema.Name, t.schema.Uniques[ui], prev)
+				failedAt = ui
+				break
+			}
+			if len(u.byKey) > 0 {
+				key, _ := t.appendRowKey(a.keyBuf[:0], row, u.idx)
+				a.keyBuf = key
+				if prev, dup := u.probeByKey(string(key)); dup {
+					ferr = fmt.Errorf("table %s: UNIQUE(%v) violated by row %d", t.schema.Name, t.schema.Uniques[ui], prev)
+					failedAt = ui
+					break
+				}
+			}
+		}
+		if failedAt < 0 {
+			for _, u := range t.uniq {
+				codes, _ := a.gatherCodes(u, row)
+				u.registerCodes(codes, row, &a.keyBuf)
+			}
+			continue
+		}
+		if strict {
+			a.rollback(base, row, failedAt)
+			return violations, &BatchError{Row: i, Err: ferr}
+		}
+		// Non-strict: the violating row is retained (the tolerant loader
+		// would have InsertUnchecked'd it), and the constraints preceding
+		// the failed one keep their registrations at this row's index.
+		// Insert records those as value-keyed phantoms (the row was
+		// rejected before storage there), so register byKey — not by code
+		// — to keep the engine state bit-identical to the per-row path.
+		for uj := 0; uj < failedAt; uj++ {
+			u := t.uniq[uj]
+			key, _ := t.appendRowKey(a.keyBuf[:0], row, u.idx)
+			a.keyBuf = key
+			u.registerByKey(string(key), row)
+		}
+		violations++
+		a.stats.Violations++
+	}
+	return violations, nil
+}
+
+// gatherCodes collects row's codes over the constraint's columns.
+func (a *Appender) gatherCodes(u *uniqIndex, row int) (codes []int32, nullKey bool) {
+	t := a.t
+	codes = a.codeBuf[:0]
+	for _, c := range u.idx {
+		code := t.columns[c].codes[row]
+		if code < 0 {
+			a.codeBuf = codes
+			return codes, true
+		}
+		codes = append(codes, code)
+	}
+	a.codeBuf = codes
+	return codes, false
+}
+
+// notNullError rebuilds Insert's error for the first NOT NULL attribute
+// (in schema order) the row violates.
+func (a *Appender) notNullError(row int) error {
+	t := a.t
+	for ci, attr := range t.schema.Attrs {
+		if attr.NotNull && t.columns[ci].codes[row] < 0 {
+			return fmt.Errorf("table %s: attribute %s is NOT NULL", t.schema.Name, attr.Name)
+		}
+	}
+	return fmt.Errorf("table %s: internal: no NOT NULL violation at row %d", t.schema.Name, row)
+}
+
+// rollback undoes the merged batch's tail for strict mode, leaving the
+// table exactly as row-by-row Inserts up to (excluding) row keep would
+// have: codes and row count truncated, dictionary entries first occurring
+// at dropped rows removed (they form a dictionary suffix, because codes
+// are assigned in first-occurrence order), nonNull/nonInt and version
+// recomputed over the kept region. The violating row's partial
+// registrations (constraints before phantomUpto) are converted to
+// value-keyed phantoms first, while the dictionaries still cover them —
+// Insert leaves the same registrations behind for a rejected row.
+func (a *Appender) rollback(base, keep, phantomUpto int) {
+	t := a.t
+	for uj := 0; uj < phantomUpto; uj++ {
+		u := t.uniq[uj]
+		key, _ := t.appendRowKey(a.keyBuf[:0], keep, u.idx)
+		a.keyBuf = key
+		u.registerByKey(string(key), keep)
+	}
+	for ci := range t.columns {
+		c := &t.columns[ci]
+		keepDict := a.baseDict[ci]
+		for _, code := range c.codes[base:keep] {
+			if int(code) >= keepDict {
+				keepDict = int(code) + 1
+			}
+		}
+		for _, v := range c.dict[keepDict:] {
+			if v.Kind() == value.KindInt {
+				delete(c.ints, v.Int())
+			} else {
+				delete(c.keys, v.Key())
+			}
+		}
+		c.dict = c.dict[:keepDict]
+		nn := a.baseNonNull[ci]
+		for _, code := range c.codes[base:keep] {
+			if code >= 0 {
+				nn++
+			}
+		}
+		c.nonNull = nn
+		nonInt := a.baseNonInt[ci]
+		for _, v := range c.dict[a.baseDict[ci]:] {
+			if v.Kind() != value.KindInt {
+				nonInt = true
+			}
+		}
+		c.nonInt = nonInt
+		c.codes = c.codes[:keep]
+	}
+	// Dense key indexes may have grown past the surviving dictionary;
+	// the trimmed tail holds no registrations (only rows before keep
+	// registered, and their codes survive), so truncation keeps future
+	// growth consistent.
+	for _, u := range t.uniq {
+		if len(u.idx) == 1 {
+			if dl := len(t.columns[u.idx[0]].dict); len(u.dense) > dl {
+				u.dense = u.dense[:dl]
+			}
+		}
+	}
+	t.nrows = keep
+	t.version = a.baseVersion + uint64(keep-base)
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

@@ -31,8 +31,12 @@ type column struct {
 	// string construction, and because interning by value.Value directly
 	// would diverge from Key() semantics on NaN (Go map equality treats
 	// NaN ≠ NaN; Key() compares Float64bits).
-	ints    map[int64]int32
-	keys    map[string]int32
+	ints map[int64]int32
+	keys map[string]int32
+	// keyBuf is scratch for probing keys without materializing a string:
+	// lookups go through the compiler's alloc-free map[string([]byte)]
+	// form, so only genuinely new dictionary entries pay a key allocation.
+	keyBuf  []byte
 	nonNull int
 	// nonInt records that some non-NULL value is not KindInt; it decides
 	// whether the column's projection is int-flavored, mirroring the row
@@ -49,6 +53,17 @@ func (c *column) encode(v value.Value) int32 {
 		return nullCode
 	}
 	c.nonNull++
+	if v.Kind() != value.KindInt {
+		c.nonInt = true
+	}
+	return c.intern(v)
+}
+
+// intern ensures v (non-NULL) is in the dictionary and returns its code,
+// without touching the nonNull/nonInt row counters — those are driven by
+// the rows that reference the entry, which the batch appender merges
+// separately from the dictionaries.
+func (c *column) intern(v value.Value) int32 {
 	if v.Kind() == value.KindInt {
 		if id, ok := c.ints[v.Int()]; ok {
 			return id
@@ -61,18 +76,50 @@ func (c *column) encode(v value.Value) int32 {
 		c.dict = append(c.dict, v)
 		return id
 	}
-	c.nonInt = true
-	k := v.Key()
-	if id, ok := c.keys[k]; ok {
+	c.keyBuf = v.AppendKey(c.keyBuf[:0])
+	if id, ok := c.keys[string(c.keyBuf)]; ok {
 		return id
 	}
 	if c.keys == nil {
 		c.keys = make(map[string]int32)
 	}
 	id := int32(len(c.dict))
-	c.keys[k] = id
+	c.keys[string(c.keyBuf)] = id
 	c.dict = append(c.dict, v)
 	return id
+}
+
+// lookup probes the dictionary for v (non-NULL) without interning.
+func (c *column) lookup(v value.Value) (int32, bool) {
+	if v.Kind() == value.KindInt {
+		id, ok := c.ints[v.Int()]
+		return id, ok
+	}
+	c.keyBuf = v.AppendKey(c.keyBuf[:0])
+	id, ok := c.keys[string(c.keyBuf)]
+	return id, ok
+}
+
+// ColumnCodes returns the dictionary-code vector of column c (codes[i]
+// is row i's code, nullCode for NULL) on the columnar engine, nil on the
+// row engine. The caller must treat it as read-only; it is only valid
+// until the next mutation.
+func (t *Table) ColumnCodes(c int) []int32 {
+	if t.columns == nil {
+		return nil
+	}
+	return t.columns[c].codes[:t.nrows:t.nrows]
+}
+
+// ColumnDict returns the value dictionary of column c (entry i is the
+// value behind code i, in first-occurrence row order) on the columnar
+// engine, nil on the row engine. The caller must treat it as read-only.
+func (t *Table) ColumnDict(c int) []value.Value {
+	if t.columns == nil {
+		return nil
+	}
+	d := t.columns[c].dict
+	return d[:len(d):len(d)]
 }
 
 // appendEncoded stores one validated row in columnar form.

@@ -55,11 +55,14 @@ type Table struct {
 	rows    []Row
 	columns []column
 	nrows   int
-	// uniq holds one hash index per declared UNIQUE constraint, used to
-	// enforce it on insert; uniqIdx caches the column indexes of each
-	// constraint so bulk loads avoid repeated name resolution.
-	uniq    []map[string]int
-	uniqIdx [][]int
+	// uniq holds one index per declared UNIQUE constraint, used to
+	// enforce it on insert and by the batch appender's constraint
+	// post-pass; see uniq.go for the two (row / columnar) layouts.
+	uniq []*uniqIndex
+	// keyScratch is the reused packing buffer for composite-constraint
+	// probes; codeScratch holds the looked-up key codes of one row.
+	keyScratch  []byte
+	codeScratch []int32
 	// version counts mutations. Every path that changes the extension
 	// (Insert, InsertUnchecked) bumps it; derived statistics keyed by
 	// (table, version) — the stats package's cache — use it as their
@@ -85,12 +88,11 @@ func NewWithEngine(schema *relation.Schema, engine Engine) *Table {
 		t.columns = make([]column, len(schema.Attrs))
 	}
 	for _, u := range schema.Uniques {
-		t.uniq = append(t.uniq, make(map[string]int))
 		idx := make([]int, 0, u.Len())
 		for _, name := range u.Names() {
 			idx = append(idx, t.cols[name])
 		}
-		t.uniqIdx = append(t.uniqIdx, idx)
+		t.uniq = append(t.uniq, newUniqIndex(idx, engine))
 	}
 	return t
 }
@@ -255,25 +257,91 @@ func (t *Table) Insert(row Row) error {
 		}
 		stored[i] = v
 	}
-	for ui, idx := range t.uniqIdx {
-		key, hasNull := keyOf(stored, idx)
+	if t.columns == nil {
+		for ui, u := range t.uniq {
+			key, hasNull := keyOf(stored, u.idx)
+			if hasNull {
+				// A UNIQUE declaration implies NOT NULL on its
+				// attributes (the paper's SQL convention).
+				return fmt.Errorf("table %s: NULL in key %v", t.schema.Name, t.schema.Uniques[ui])
+			}
+			if prev, dup := u.probeByKey(key); dup {
+				return fmt.Errorf("table %s: UNIQUE(%v) violated by row %d", t.schema.Name, t.schema.Uniques[ui], prev)
+			}
+			u.registerByKey(key, t.Len())
+		}
+		t.rows = append(t.rows, stored)
+		t.version++
+		return nil
+	}
+	// Columnar engine: probe every constraint by dictionary code before
+	// touching storage. A key value that was never interned cannot be a
+	// duplicate of a stored row, so rejected rows do not pollute the
+	// dictionaries (len(dict) is the single-attribute distinct count);
+	// only the value-keyed phantom registrations of previously rejected
+	// rows require a string probe, and only when any exist.
+	for ui, u := range t.uniq {
+		hasNull := false
+		for _, c := range u.idx {
+			if stored[c].IsNull() {
+				hasNull = true
+				break
+			}
+		}
 		if hasNull {
-			// A UNIQUE declaration implies NOT NULL on its
-			// attributes (the paper's SQL convention).
+			t.registerPhantoms(stored, ui)
 			return fmt.Errorf("table %s: NULL in key %v", t.schema.Name, t.schema.Uniques[ui])
 		}
-		if prev, dup := t.uniq[ui][key]; dup {
-			return fmt.Errorf("table %s: UNIQUE(%v) violated by row %d", t.schema.Name, t.schema.Uniques[ui], prev)
+		codes := t.codeScratch[:0]
+		allCoded := true
+		for _, c := range u.idx {
+			code, ok := t.columns[c].lookup(stored[c])
+			if !ok {
+				allCoded = false
+				break
+			}
+			codes = append(codes, code)
 		}
-		t.uniq[ui][key] = t.Len()
+		t.codeScratch = codes
+		if allCoded {
+			if prev, dup := u.probeCodes(codes, &t.keyScratch); dup {
+				t.registerPhantoms(stored, ui)
+				return fmt.Errorf("table %s: UNIQUE(%v) violated by row %d", t.schema.Name, t.schema.Uniques[ui], prev)
+			}
+		}
+		if len(u.byKey) > 0 {
+			key, _ := keyOf(stored, u.idx)
+			if prev, dup := u.probeByKey(key); dup {
+				t.registerPhantoms(stored, ui)
+				return fmt.Errorf("table %s: UNIQUE(%v) violated by row %d", t.schema.Name, t.schema.Uniques[ui], prev)
+			}
+		}
 	}
-	if t.columns != nil {
-		t.appendEncoded(stored)
-	} else {
-		t.rows = append(t.rows, stored)
+	t.appendEncoded(stored)
+	at := t.nrows - 1
+	for _, u := range t.uniq {
+		codes := t.codeScratch[:0]
+		for _, c := range u.idx {
+			codes = append(codes, t.columns[c].codes[at])
+		}
+		t.codeScratch = codes
+		u.registerCodes(codes, at, &t.keyScratch)
 	}
 	t.version++
 	return nil
+}
+
+// registerPhantoms records the value-keyed registrations Insert leaves
+// behind for the constraints preceding the one a rejected row failed:
+// the sequential semantics register constraint k before checking k+1,
+// and later duplicates of those keys must still be detected. The
+// recorded index is the one the row would have received.
+func (t *Table) registerPhantoms(stored Row, upto int) {
+	for ui := 0; ui < upto; ui++ {
+		u := t.uniq[ui]
+		key, _ := keyOf(stored, u.idx)
+		u.registerByKey(key, t.Len())
+	}
 }
 
 // MustInsert is Insert that panics on error; for tests and generators.

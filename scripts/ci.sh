@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: formatting and vet gates, a documentation link check,
 # build, race-enabled tests (which include the differential equivalence
-# harness and the obs/stats allocation regressions), and a short fuzz
-# smoke of the two parser-facing fuzz targets. Run from the repository
+# harness and the obs/stats/table allocation regressions), and a short
+# fuzz smoke of the three input-facing fuzz targets. Run from the repository
 # root; the GitHub Actions workflow (.github/workflows/ci.yml) invokes
 # exactly this script so local runs reproduce CI bit for bit.
 set -euo pipefail
@@ -31,9 +31,9 @@ echo "==> go test -race (unit + differential harness + alloc regressions)"
 go test -race ./...
 
 echo "==> allocation regressions (explicit, without -race instrumentation)"
-go test -run 'TestAlloc' ./internal/stats ./internal/obs
+go test -run 'TestAlloc' ./internal/stats ./internal/obs ./internal/table
 
-echo "==> perf gate: B12 vs BENCH_B12.json"
+echo "==> perf gate: B12/B13 vs checked-in baselines"
 ./scripts/perfgate.sh
 
 echo "==> fuzz smoke: FuzzLoadSQL (${FUZZTIME})"
@@ -41,5 +41,8 @@ go test -run=^$ -fuzz='^FuzzLoadSQL$' -fuzztime="${FUZZTIME}" ./internal/sql/exe
 
 echo "==> fuzz smoke: FuzzScanSource (${FUZZTIME})"
 go test -run=^$ -fuzz='^FuzzScanSource$' -fuzztime="${FUZZTIME}" ./internal/appscan
+
+echo "==> fuzz smoke: FuzzCSVLoad (${FUZZTIME})"
+go test -run=^$ -fuzz='^FuzzCSVLoad$' -fuzztime="${FUZZTIME}" ./internal/csvio
 
 echo "==> ci.sh: all green"

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Performance gate: re-run the B12 kernel-overhaul experiment and compare
-# its -json metrics against the checked-in BENCH_B12.json baseline via
-# cmd/perfgate — wall-time metrics within a generous multiplicative
-# tolerance (CI machines differ; regressions we care about are step
-# changes, not jitter), allocation metrics as hard ceilings. Regenerate
-# the baseline after an intentional perf change with:
+# Performance gate: re-run the gated experiments (B12 kernel overhaul,
+# B13 parallel batched ingest) and compare their -json metrics against
+# the checked-in BENCH_<id>.json baselines via cmd/perfgate — wall-time
+# metrics within a generous multiplicative tolerance (CI machines differ;
+# regressions we care about are step changes, not jitter), allocation
+# metrics as hard ceilings. Regenerate a baseline after an intentional
+# perf change with:
 #
 #   go run ./cmd/bench -run B12 -json BENCH_B12.json
+#   go run ./cmd/bench -run B13 -json BENCH_B13.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,8 +17,10 @@ TOLERANCE="${TOLERANCE:-2.0}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-echo "==> bench -run B12"
-go run ./cmd/bench -run B12 -json "$tmp"
+for id in B12 B13; do
+  echo "==> bench -run ${id}"
+  go run ./cmd/bench -run "${id}" -json "$tmp"
 
-echo "==> perfgate vs BENCH_B12.json (tolerance ${TOLERANCE}x)"
-go run ./cmd/perfgate -id B12 -baseline BENCH_B12.json -current "$tmp" -tolerance "$TOLERANCE"
+  echo "==> perfgate vs BENCH_${id}.json (tolerance ${TOLERANCE}x)"
+  go run ./cmd/perfgate -id "${id}" -baseline "BENCH_${id}.json" -current "$tmp" -tolerance "$TOLERANCE"
+done
