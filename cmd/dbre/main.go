@@ -11,8 +11,17 @@
 //	     [-out-data dir] [-no-closure]
 //	     [-trace out.json] [-debug-addr localhost:6060]
 //
+//	dbre -serve :8080 [-serve-workers n] [-job-ttl 1h]
+//	     [-max-job-bytes n] [-datasets dir] [-auto-answer 30s]
+//
 // With -expert interactive the paper's expert-user dialogue runs on the
 // terminal; auto applies the default trust-the-extension policy.
+//
+// -serve starts the discovery job server instead of a one-shot run:
+// databases and program sets are submitted as asynchronous jobs over
+// the HTTP/JSON API (POST /jobs), polled, cancelled, and their expert
+// dialogues answered over the same API. See the README's Serving
+// section for the endpoint walkthrough.
 //
 // -trace records an execution trace — one span per pipeline phase with
 // nested algorithm sub-spans plus the counter inventory — appends its
@@ -30,6 +39,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dbre"
 	"dbre/internal/expert"
@@ -41,6 +53,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dbre:", err)
 		os.Exit(1)
 	}
+}
+
+// serveShutdown asks a running -serve instance to stop as if it had
+// received an interrupt; the smoke test uses it in place of a signal.
+var serveShutdown = make(chan struct{}, 1)
+
+// runServe runs the discovery job server until interrupted, then shuts
+// down gracefully: the listener closes, in-flight jobs are cancelled and
+// the worker pool drains.
+func runServe(addr string, cfg dbre.ServerConfig, out io.Writer) error {
+	s := dbre.NewServer(cfg)
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-serve: %w", err)
+	}
+	fmt.Fprintf(out, "dbre job server listening on http://%s/jobs\n", ln.Addr())
+
+	srv := &http.Server{Handler: s}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case <-sig:
+	case <-serveShutdown:
+	case err := <-serveErr:
+		return fmt.Errorf("-serve: %w", err)
+	}
+
+	fmt.Fprintln(out, "dbre job server shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("-serve shutdown: %w", err)
+	}
+	return s.Close()
 }
 
 func run(args []string, out io.Writer) error {
@@ -59,8 +111,23 @@ func run(args []string, out io.Writer) error {
 	tolerate := fs.Float64("tolerate", 0, "auto expert: max FD violation rate still enforced")
 	tracePath := fs.String("trace", "", "write a JSON execution trace (spans + counters) to this file")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+	serveAddr := fs.String("serve", "", "run the discovery job server on this address (e.g. :8080) instead of a one-shot pipeline")
+	serveWorkers := fs.Int("serve-workers", 0, "job server: concurrent pipeline workers (0 = default)")
+	jobTTL := fs.Duration("job-ttl", 0, "job server: retention of finished jobs (0 = default 1h)")
+	maxJobBytes := fs.Int64("max-job-bytes", 0, "job server: per-job memory ceiling in bytes (0 = default 256MiB)")
+	datasets := fs.String("datasets", "", "job server: root directory of named server-side datasets")
+	autoAnswer := fs.Duration("auto-answer", 0, "job server: answer unattended expert questions with their defaults after this long (0 = wait)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *serveAddr != "" {
+		return runServe(*serveAddr, dbre.ServerConfig{
+			Workers:         *serveWorkers,
+			TTL:             *jobTTL,
+			MaxJobBytes:     *maxJobBytes,
+			DatasetRoot:     *datasets,
+			AutoAnswerAfter: *autoAnswer,
+		}, out)
 	}
 	if *schema == "" {
 		fs.Usage()

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"dbre"
 	"dbre/internal/core"
@@ -197,5 +203,120 @@ func TestDebugAddrFlag(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "debug server on http://") {
 		t.Errorf("debug server address not announced:\n%s", out.String())
+	}
+}
+
+// syncWriter is a goroutine-safe output sink the serve smoke test can
+// poll while run() is still writing to it.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestServeSmoke drives the CLI's job-server mode end to end: start
+// `dbre -serve` on a loopback port, read the announced address, submit a
+// job over HTTP, poll it to completion, fetch the report, and shut the
+// server down cleanly through the interrupt path.
+func TestServeSmoke(t *testing.T) {
+	var out syncWriter
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-serve", "127.0.0.1:0", "-serve-workers", "1"}, &out)
+	}()
+
+	addrRe := regexp.MustCompile(`listening on (http://[^/\s]+)/jobs`)
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited before announcing its address: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen address announced:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	spec := `{
+		"schema_sql": "CREATE TABLE emp (eno INTEGER PRIMARY KEY, dno INTEGER); CREATE TABLE dept (dno INTEGER PRIMARY KEY, dname VARCHAR(20)); INSERT INTO emp VALUES (1, 2); INSERT INTO dept VALUES (2, 'sales');",
+		"programs": {"q.sql": "SELECT e.eno, d.dname FROM emp e, dept d WHERE e.dno = d.dno;"}
+	}`
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || status.ID == "" {
+		t.Fatalf("submit: status %d, %+v", resp.StatusCode, status)
+	}
+
+	for status.State != "done" {
+		if status.State == "failed" || status.State == "cancelled" {
+			t.Fatalf("job finished %s: %s", status.State, status.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished; last %+v", status)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(base + "/jobs/" + status.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+
+	r, err := http.Get(base + "/jobs/" + status.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("report: status %d, err %v", r.StatusCode, err)
+	}
+	if !strings.Contains(string(report), "Timings") {
+		t.Errorf("report looks wrong:\n%s", report)
+	}
+
+	serveShutdown <- struct{}{}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve mode exited with error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve mode did not shut down")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("shutdown not announced:\n%s", out.String())
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"dbre/internal/obs"
 	"dbre/internal/relation"
 	"dbre/internal/restruct"
+	"dbre/internal/serve"
 	"dbre/internal/sql/exec"
 	"dbre/internal/table"
 )
@@ -88,7 +89,25 @@ type (
 	// Install one with WithTracer; read it back from Report.Trace, render
 	// it with Render, or export it with WriteJSON.
 	Tracer = obs.Tracer
+	// Server is the discovery-as-a-service job server: an http.Handler
+	// accepting JobSpec submissions, running them asynchronously on a
+	// bounded worker pool, and exposing status, progress, the expert
+	// dialogue and the finished artifacts over JSON. See NewServer.
+	Server = serve.Server
+	// ServerConfig sizes a Server (workers, queue depth, TTL, ceilings).
+	ServerConfig = serve.Config
+	// JobSpec is the JSON submission payload of POST /jobs.
+	JobSpec = serve.JobSpec
+	// JobStatus is the JSON status view of a submitted job.
+	JobStatus = serve.JobStatus
 )
+
+// NewServer starts a discovery job server: its worker pool and TTL
+// janitor begin immediately, and the returned value serves the HTTP API
+// under any http.Server (it implements http.Handler). Close it to
+// cancel in-flight jobs and drain the pool. The zero ServerConfig is
+// production-ready; see its fields for the knobs.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
 
 // NewTracer creates a tracer whose root span carries the given name.
 // Call Finish when the traced work is done, then Render or WriteJSON.

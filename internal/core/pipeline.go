@@ -126,6 +126,19 @@ func (r *Report) RecordTiming(phase string, d time.Duration) {
 	r.Timings[phase] = d
 }
 
+// checkCancel surfaces a cancelled run context as the pipeline error,
+// naming the phase that was about to start. Together with the per-
+// candidate checks inside IND- and RHS-Discovery this bounds how long a
+// cancelled run keeps computing: at most one candidate (one equi-join,
+// one FD check batch) past the cancellation point. The wrapped error
+// preserves errors.Is(err, context.Canceled).
+func checkCancel(ctx context.Context, phase string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s not started: %w", phase, err)
+	}
+	return nil
+}
+
 // startPhase opens one top-level phase span and returns the phase context
 // plus a closer that ends the span and records the phase timing. On traced
 // runs the timing is derived from the span itself, so the Timings map and
@@ -194,6 +207,12 @@ func RunWithQContext(ctx context.Context, db *table.Database, q *deps.JoinSet, o
 	if opts.Oracle == nil {
 		opts.Oracle = expert.NewAuto()
 	}
+	// Oracles that can block (terminal prompts, answers arriving over an
+	// API) observe the run's context, so cancelling the run resolves any
+	// pending question with its default instead of hanging the pipeline.
+	if ca, ok := opts.Oracle.(expert.ContextAware); ok {
+		opts.Oracle = ca.BindContext(ctx)
+	}
 	rep.Q = q
 	tr := obs.FromContext(ctx)
 	rep.Trace = tr
@@ -211,6 +230,9 @@ func RunWithQContext(ctx context.Context, db *table.Database, q *deps.JoinSet, o
 
 	// Phase 0: constraint sets from the dictionary, inferring missing
 	// keys from the data first when asked to.
+	if err := checkCancel(ctx, "constraints"); err != nil {
+		return rep, err
+	}
 	cctx, endConstraints := startPhase(ctx, rep, "constraints")
 	if opts.InferKeys {
 		kopts := fd.DefaultKeyInferenceOptions()
@@ -229,6 +251,9 @@ func RunWithQContext(ctx context.Context, db *table.Database, q *deps.JoinSet, o
 	// Phase 2: IND-Discovery. The zero-Opts call is the serial, uncached
 	// configuration — identical to the reference ind.Discover, which the
 	// differential harness asserts.
+	if err := checkCancel(ctx, "ind-discovery"); err != nil {
+		return rep, err
+	}
 	ictx, endIND := startPhase(ctx, rep, "ind-discovery")
 	indRes, err := ind.DiscoverOptsCtx(ictx, db, q, opts.Oracle, ind.Opts{Stats: cache, Workers: opts.Parallelism})
 	endIND()
@@ -238,6 +263,9 @@ func RunWithQContext(ctx context.Context, db *table.Database, q *deps.JoinSet, o
 	rep.IND = indRes
 
 	// Phase 3: LHS-Discovery.
+	if err := checkCancel(ctx, "lhs-discovery"); err != nil {
+		return rep, err
+	}
 	lctx, endLHS := startPhase(ctx, rep, "lhs-discovery")
 	inS := make(map[string]bool, len(indRes.NewRelations))
 	for _, n := range indRes.NewRelations {
@@ -253,6 +281,9 @@ func RunWithQContext(ctx context.Context, db *table.Database, q *deps.JoinSet, o
 	// Phase 4: RHS-Discovery. IND-Discovery's NEI conceptualization may
 	// have added relations; the cache revalidates per lookup, so no
 	// explicit invalidation is needed here.
+	if err := checkCancel(ctx, "rhs-discovery"); err != nil {
+		return rep, err
+	}
 	rctx, endRHS := startPhase(ctx, rep, "rhs-discovery")
 	rhsRes, err := fd.DiscoverRHSOptsCtx(rctx, db, lhsRes.LHS, lhsRes.Hidden, opts.Oracle, fd.Opts{Stats: cache, Workers: opts.Parallelism})
 	endRHS()
@@ -262,6 +293,9 @@ func RunWithQContext(ctx context.Context, db *table.Database, q *deps.JoinSet, o
 	rep.RHS = rhsRes
 
 	// Phase 5: Restruct.
+	if err := checkCancel(ctx, "restruct"); err != nil {
+		return rep, err
+	}
 	xctx, endRestruct := startPhase(ctx, rep, "restruct")
 	resRes, err := restruct.RunCtx(xctx, db, rhsRes.FDs, rhsRes.Hidden, indRes.INDs, opts.Oracle)
 	if err != nil {
@@ -286,6 +320,9 @@ func RunWithQContext(ctx context.Context, db *table.Database, q *deps.JoinSet, o
 	// Phase 6: Translate, then annotate cardinalities and participation
 	// from the migrated extension.
 	if !opts.SkipTranslate {
+		if err := checkCancel(ctx, "translate"); err != nil {
+			return rep, err
+		}
 		_, endTranslate := startPhase(ctx, rep, "translate")
 		schema, err := eer.Translate(db.Catalog(), resRes.RIC)
 		if err != nil {

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+
+	"dbre/internal/deps"
 
 	"dbre/internal/expert"
 	"dbre/internal/paperex"
@@ -324,4 +328,62 @@ func TestCompositeKeyWorkloadRecovery(t *testing.T) {
 	if binaryFound < binaryExpected {
 		t.Errorf("binary INDs: found %d of %d", binaryFound, binaryExpected)
 	}
+}
+
+// TestRunContextCancelled proves the pipeline observes context
+// cancellation: a pre-cancelled context returns context.Canceled without
+// running any discovery phase, and a context cancelled mid-run (from the
+// expert dialogue, where an API-backed oracle would block) aborts
+// promptly instead of completing the remaining phases.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	db := paperex.Database()
+	rep, err := RunContext(ctx, db, paperex.Programs, Options{Oracle: paperex.Oracle(), TransitiveClosure: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run: err = %v, want context.Canceled", err)
+	}
+	if rep.IND != nil || rep.RHS != nil {
+		t.Error("pre-cancelled run still produced discovery results")
+	}
+
+	// Cancel from inside the first expert consultation (the paper
+	// example escalates one NEI): IND-Discovery must stop and later
+	// phases must never start.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	db2 := paperex.Database()
+	oracle := &cancellingOracle{inner: paperex.Oracle(), cancel: cancel2}
+	rep2, err := RunContext(ctx2, db2, paperex.Programs, Options{Oracle: oracle, TransitiveClosure: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: err = %v, want context.Canceled", err)
+	}
+	if rep2.Restruct != nil || rep2.EER != nil {
+		t.Error("cancelled run still restructured")
+	}
+}
+
+// cancellingOracle cancels the run from its first NEI consultation, then
+// delegates — the shape of a server-side cancellation arriving while the
+// expert dialogue is pending.
+type cancellingOracle struct {
+	inner  expert.Oracle
+	cancel func()
+}
+
+func (o *cancellingOracle) DecideNEI(ctx expert.NEIContext) expert.NEIDecision {
+	o.cancel()
+	return o.inner.DecideNEI(ctx)
+}
+func (o *cancellingOracle) ValidateFD(fd deps.FD, s expert.FDSupport) bool {
+	return o.inner.ValidateFD(fd, s)
+}
+func (o *cancellingOracle) EnforceFD(rel string, lhs relation.AttrSet, attr string, s expert.FDSupport) bool {
+	return o.inner.EnforceFD(rel, lhs, attr, s)
+}
+func (o *cancellingOracle) ConceptualizeHidden(ref relation.Ref) bool {
+	return o.inner.ConceptualizeHidden(ref)
+}
+func (o *cancellingOracle) NameRelation(k expert.NameKind, base relation.Ref, s string) string {
+	return o.inner.NameRelation(k, base, s)
 }

@@ -11,9 +11,11 @@ package expert
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"dbre/internal/deps"
 	"dbre/internal/relation"
@@ -124,6 +126,22 @@ type Oracle interface {
 	// NameRelation chooses the name of a new relation; suggested is a
 	// generated default the implementation may simply return.
 	NameRelation(kind NameKind, base relation.Ref, suggested string) string
+}
+
+// ContextAware is implemented by oracles whose questions can block — on a
+// terminal read, on an HTTP answer — and that therefore must observe the
+// run's context: once ctx is cancelled every pending and future question
+// resolves immediately with its default answer, so a cancelled pipeline
+// is never held hostage by an unanswered expert. The pipeline binds its
+// context before the first consultation (core.RunWithQContext); oracles
+// that never block simply don't implement the interface.
+type ContextAware interface {
+	Oracle
+	// BindContext returns an oracle answering under ctx. Implementations
+	// may return a rebound copy (sharing any underlying streams) or
+	// rebind in place and return themselves; callers must use the
+	// returned oracle.
+	BindContext(ctx context.Context) Oracle
 }
 
 // Auto is a policy-driven oracle for non-interactive runs. Its thresholds
@@ -315,6 +333,17 @@ type Recording struct {
 // NewRecording wraps inner.
 func NewRecording(inner Oracle) *Recording { return &Recording{Inner: inner} }
 
+// BindContext implements ContextAware by rebinding the wrapped oracle in
+// place and returning the same Recording, so callers holding the wrapper
+// keep reading the audit log that the bound run appends to. A
+// context-oblivious inner oracle is left untouched.
+func (r *Recording) BindContext(ctx context.Context) Oracle {
+	if ca, ok := r.Inner.(ContextAware); ok {
+		r.Inner = ca.BindContext(ctx)
+	}
+	return r
+}
+
 func (r *Recording) record(point, subject, answer string) {
 	r.Log = append(r.Log, Decision{Point: point, Subject: subject, Answer: answer})
 }
@@ -362,24 +391,82 @@ func (r *Recording) NameRelation(kind NameKind, base relation.Ref, suggested str
 }
 
 // Interactive prompts a human on in/out; empty answers take the default
-// shown in the prompt.
+// shown in the prompt. It is ContextAware: bound to a run context
+// (BindContext), a prompt blocked on a read resolves with the default
+// answer the moment the context is cancelled, instead of the historical
+// behavior where a blocked stdin read outlived the cancelled run.
 type Interactive struct {
-	in  *bufio.Reader
-	out io.Writer
+	pump *linePump
+	out  io.Writer
+	ctx  context.Context
+}
+
+// linePump owns the reader goroutine shared by every bound copy of an
+// Interactive. Reads happen on a single goroutine feeding ch, so ask can
+// select between "a line arrived" and "the run was cancelled". The
+// goroutine itself may stay blocked in Read after cancellation (a
+// blocked os.Stdin read is not interruptible); what the fix guarantees
+// is that the *oracle* — and with it the pipeline — no longer waits on
+// it. A line read after cancellation stays buffered in ch for the next
+// question, preserving at-most-once consumption of input lines.
+type linePump struct {
+	in   *bufio.Reader
+	once sync.Once
+	ch   chan pumpedLine
+}
+
+type pumpedLine struct {
+	line string
+	err  error
+}
+
+func (p *linePump) start() {
+	p.once.Do(func() {
+		p.ch = make(chan pumpedLine, 1)
+		go func() {
+			for {
+				line, err := p.in.ReadString('\n')
+				p.ch <- pumpedLine{line: line, err: err}
+				if err != nil {
+					close(p.ch)
+					return
+				}
+			}
+		}()
+	})
 }
 
 // NewInteractive builds an interactive oracle over the given streams.
 func NewInteractive(in io.Reader, out io.Writer) *Interactive {
-	return &Interactive{in: bufio.NewReader(in), out: out}
+	return &Interactive{pump: &linePump{in: bufio.NewReader(in)}, out: out}
+}
+
+// BindContext implements ContextAware: the returned oracle shares the
+// input stream (and its reader goroutine) but resolves blocked prompts
+// with their defaults once ctx is cancelled.
+func (i *Interactive) BindContext(ctx context.Context) Oracle {
+	return &Interactive{pump: i.pump, out: i.out, ctx: ctx}
 }
 
 func (i *Interactive) ask(prompt string) string {
 	fmt.Fprint(i.out, prompt)
-	line, err := i.in.ReadString('\n')
-	if err != nil && line == "" {
+	i.pump.start()
+	var done <-chan struct{}
+	if i.ctx != nil {
+		if err := i.ctx.Err(); err != nil {
+			return ""
+		}
+		done = i.ctx.Done()
+	}
+	select {
+	case l, ok := <-i.pump.ch:
+		if !ok || (l.err != nil && l.line == "") {
+			return ""
+		}
+		return strings.TrimSpace(l.line)
+	case <-done:
 		return ""
 	}
-	return strings.TrimSpace(line)
 }
 
 func (i *Interactive) askYesNo(prompt string, def bool) bool {

@@ -1,8 +1,11 @@
 package expert
 
 import (
+	"context"
+	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"dbre/internal/deps"
 	"dbre/internal/relation"
@@ -221,5 +224,93 @@ func TestEnumStrings(t *testing.T) {
 	}
 	if NameKind(99).String() != "?" {
 		t.Error("unknown NameKind")
+	}
+}
+
+// blockingReader blocks every Read until the test releases it — a stand-in
+// for an idle terminal with no human typing.
+type blockingReader struct{ release chan struct{} }
+
+func (r *blockingReader) Read(p []byte) (int, error) {
+	<-r.release
+	return 0, io.EOF
+}
+
+func TestInteractiveCancelledContext(t *testing.T) {
+	// Regression: a prompt blocked on a read used to outlive a cancelled
+	// run. Bound to a context, it must resolve with the default answer as
+	// soon as the context is cancelled.
+	in := &blockingReader{release: make(chan struct{})}
+	defer close(in.release)
+	var out strings.Builder
+	base := NewInteractive(in, &out)
+	ctx, cancel := context.WithCancel(context.Background())
+	bound, ok := base.BindContext(ctx).(*Interactive)
+	if !ok {
+		t.Fatal("BindContext did not return an *Interactive")
+	}
+
+	type res struct{ keep bool }
+	got := make(chan res, 1)
+	go func() {
+		got <- res{keep: bound.ValidateFD(deps.FD{}, FDSupport{Rows: 3})}
+	}()
+	select {
+	case <-got:
+		t.Fatal("ValidateFD answered with no input and a live context")
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case r := <-got:
+		if !r.keep {
+			t.Error("cancelled ValidateFD returned false, want the prompt default (true)")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ValidateFD still blocked after cancellation")
+	}
+
+	// Every later question on the bound oracle answers immediately.
+	done := make(chan NEIDecision, 1)
+	go func() { done <- bound.DecideNEI(NEIContext{}) }()
+	select {
+	case d := <-done:
+		if d.Action != NEIIgnore {
+			t.Errorf("cancelled DecideNEI = %v, want ignore default", d.Action)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("DecideNEI blocked after cancellation")
+	}
+
+	// The unbound original keeps its live-context behavior.
+	if base.ctx != nil {
+		t.Error("BindContext mutated the original oracle")
+	}
+}
+
+func TestRecordingBindContext(t *testing.T) {
+	in := &blockingReader{release: make(chan struct{})}
+	defer close(in.release)
+	var out strings.Builder
+	rec := NewRecording(NewInteractive(in, &out))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bound := rec.BindContext(ctx)
+	if bound != Oracle(rec) {
+		t.Fatal("Recording.BindContext must return the same wrapper")
+	}
+	if !rec.ValidateFD(deps.FD{}, FDSupport{Rows: 1}) {
+		t.Error("bound Recording did not take the prompt default")
+	}
+	if len(rec.Log) != 1 {
+		t.Fatalf("audit log = %v, want 1 entry", rec.Log)
+	}
+
+	// A context-oblivious inner oracle passes through unchanged.
+	auto := NewAuto()
+	rec2 := NewRecording(auto)
+	rec2.BindContext(ctx)
+	if rec2.Inner != Oracle(auto) {
+		t.Error("BindContext replaced a context-oblivious inner oracle")
 	}
 }

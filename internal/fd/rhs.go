@@ -158,7 +158,7 @@ func DiscoverRHSOptsCtx(ctx context.Context, db *table.Database, lhs, hidden []r
 		return supports[[2]string{cand.Key(), b}], nil
 	}
 	_, dsp := obs.StartSpan(ctx, "decide")
-	res, err := decideRHS(db, plan, oracle, lookup)
+	res, err := decideRHSCtx(ctx, db, plan, oracle, lookup)
 	if err == nil {
 		dsp.SetInt("fds", int64(len(res.FDs)))
 		dsp.SetInt("hidden", int64(len(res.Hidden)))
@@ -217,12 +217,23 @@ func planRHS(db *table.Database, lhs, hidden []relation.Ref) (*rhsPlan, error) {
 // candidates, obtaining each A → b support from lookup (a direct scan in
 // the reference, a precomputed table in the cached/parallel variant).
 func decideRHS(db *table.Database, plan *rhsPlan, oracle expert.Oracle, lookup func(relation.Ref, string) (expert.FDSupport, error)) (*Result, error) {
+	return decideRHSCtx(context.Background(), db, plan, oracle, lookup)
+}
+
+// decideRHSCtx is decideRHS observing cancellation: a cancelled context
+// stops the loop between candidates, so a cancelled run performs at most
+// one more candidate's expert dialogue (which a ContextAware oracle
+// aborts immediately anyway).
+func decideRHSCtx(ctx context.Context, db *table.Database, plan *rhsPlan, oracle expert.Oracle, lookup func(relation.Ref, string) (expert.FDSupport, error)) (*Result, error) {
 	if oracle == nil {
 		oracle = expert.NewAuto()
 	}
 	res := &Result{}
 	inHidden := plan.inHidden
 	for ci, cand := range plan.candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fd: cancelled after %d of %d candidates: %w", ci, len(plan.candidates), err)
+		}
 		tab := db.MustTable(cand.Rel)
 		t := plan.pruned[ci]
 		trace := CandidateTrace{Candidate: cand, Pruned: t}

@@ -73,6 +73,13 @@ func DiscoverOptsCtx(ctx context.Context, db *table.Database, q *deps.JoinSet, o
 	_, dsp := obs.StartSpan(ctx, "decide")
 	res := &Result{INDs: deps.NewINDSet()}
 	for i, join := range joins {
+		// A cancelled run stops between joins: the current expert
+		// consultation (which a ContextAware oracle already aborts on
+		// cancellation) is the last work performed.
+		if err := ctx.Err(); err != nil {
+			dsp.End()
+			return res, fmt.Errorf("ind: cancelled after %d of %d joins: %w", i, len(joins), err)
+		}
 		c := results[i]
 		if c.err != nil {
 			res.Outcomes = append(res.Outcomes, Outcome{Join: join, Case: CaseError, Err: c.err})

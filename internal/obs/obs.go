@@ -80,6 +80,17 @@ const (
 	CtrIngestChunks
 	CtrIngestMergeRemaps
 	CtrIngestViolations
+	// The serve-* counters live on the job server's own tracer
+	// (internal/serve), not on per-job tracers. CtrJobsSubmitted counts
+	// accepted job submissions; CtrJobsRunning is a gauge (+1 on worker
+	// pickup, -1 on completion) whose value can never exceed the worker
+	// pool size; CtrJobsDone counts jobs that reached a terminal state
+	// (done, failed or cancelled); CtrQuestionsAsked counts expert-oracle
+	// questions escalated over the API.
+	CtrJobsSubmitted
+	CtrJobsRunning
+	CtrJobsDone
+	CtrQuestionsAsked
 
 	numCounters
 )
@@ -104,6 +115,10 @@ var counterNames = [numCounters]string{
 	"ingest-chunks",
 	"ingest-merge-remaps",
 	"ingest-violations",
+	"serve-jobs-submitted",
+	"serve-jobs-running",
+	"serve-jobs-done",
+	"serve-questions-asked",
 }
 
 // String returns the counter's stable exported name.
@@ -243,6 +258,19 @@ func (s *Span) End() {
 		s.dur = now.Sub(s.start)
 	}
 	s.mu.Unlock()
+}
+
+// Ended reports whether End has been called (false on nil): a span that
+// has started but not ended is still running, which is what the progress
+// exporter keys on.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	e := s.ended
+	s.mu.Unlock()
+	return e
 }
 
 // Name returns the span name ("" on nil).

@@ -1,0 +1,82 @@
+package obs
+
+// Progress is a point-in-time view of a traced run, cheap enough to serve
+// on every status poll: which span is executing right now, how far the
+// top-level phases have come, and the live counter values. It is derived
+// purely from the span tree and counter array — the pipeline needs no
+// extra instrumentation to become observable as an async job — and taking
+// it is safe while the run is still mutating the trace (the span locks
+// cover every read).
+type Progress struct {
+	// Active is the slash-joined path of the deepest span still running,
+	// e.g. "ind-discovery/decide"; empty once the run has finished (or
+	// before any phase has started).
+	Active string `json:"active,omitempty"`
+	// Phases lists the top-level spans in start order with their state.
+	Phases []PhaseProgress `json:"phases,omitempty"`
+	// Counters is the non-zero counter snapshot (stable exported names).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Finished reports that the root span has ended.
+	Finished bool `json:"finished"`
+}
+
+// PhaseProgress is the state of one top-level phase span.
+type PhaseProgress struct {
+	Name  string `json:"name"`
+	State string `json:"state"` // "running" or "done"
+	// DurationNS is the measured duration in nanoseconds (0 while the
+	// phase is still running — Span.Duration is End-stamped).
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// Progress snapshots the tracer's current state (nil on a nil tracer).
+func (t *Tracer) Progress() *Progress {
+	if t == nil {
+		return nil
+	}
+	p := &Progress{
+		Counters: t.CounterSnapshot(),
+		Finished: t.root.Ended(),
+	}
+	children := t.root.Children()
+	for _, c := range children {
+		state := "done"
+		if !c.Ended() {
+			state = "running"
+		}
+		p.Phases = append(p.Phases, PhaseProgress{
+			Name:       c.Name(),
+			State:      state,
+			DurationNS: int64(c.Duration()),
+		})
+	}
+	if !p.Finished {
+		p.Active = activePath(children)
+	}
+	return p
+}
+
+// activePath walks the last still-running span at each level and joins
+// the names. Children append in start order and phases run sequentially,
+// so the last running child is the current one; concurrent sibling spans
+// (parallel workers) resolve to the most recently started, which is a
+// serviceable "what is it doing" answer for a monitor.
+func activePath(spans []*Span) string {
+	path := ""
+	for {
+		var running *Span
+		for _, s := range spans {
+			if !s.Ended() {
+				running = s
+			}
+		}
+		if running == nil {
+			return path
+		}
+		if path != "" {
+			path += "/"
+		}
+		path += running.Name()
+		spans = running.Children()
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProgressSnapshot(t *testing.T) {
+	now := time.Unix(100, 0)
+	tr := NewTracerClock("job", func() time.Time { return now })
+
+	if p := (*Tracer)(nil).Progress(); p != nil {
+		t.Fatalf("nil tracer Progress = %+v, want nil", p)
+	}
+
+	// Before any phase: not finished, no active span.
+	p := tr.Progress()
+	if p.Finished || p.Active != "" || len(p.Phases) != 0 {
+		t.Fatalf("fresh tracer progress = %+v", p)
+	}
+
+	scan := tr.Root().StartChild("scan")
+	now = now.Add(5 * time.Millisecond)
+	scan.End()
+
+	ind := tr.Root().StartChild("ind-discovery")
+	decide := ind.StartChild("decide")
+	tr.Add(CtrINDsTested, 7)
+
+	p = tr.Progress()
+	if p.Finished {
+		t.Fatalf("progress finished mid-run")
+	}
+	if p.Active != "ind-discovery/decide" {
+		t.Fatalf("active = %q, want ind-discovery/decide", p.Active)
+	}
+	if len(p.Phases) != 2 {
+		t.Fatalf("phases = %+v, want 2", p.Phases)
+	}
+	if p.Phases[0].Name != "scan" || p.Phases[0].State != "done" ||
+		p.Phases[0].DurationNS != int64(5*time.Millisecond) {
+		t.Fatalf("scan phase = %+v", p.Phases[0])
+	}
+	if p.Phases[1].Name != "ind-discovery" || p.Phases[1].State != "running" {
+		t.Fatalf("ind phase = %+v", p.Phases[1])
+	}
+	if p.Counters["inds-tested"] != 7 {
+		t.Fatalf("counters = %v", p.Counters)
+	}
+
+	decide.End()
+	ind.End()
+	tr.Finish()
+	p = tr.Progress()
+	if !p.Finished || p.Active != "" {
+		t.Fatalf("finished progress = %+v", p)
+	}
+	if p.Phases[1].State != "done" {
+		t.Fatalf("ind phase after finish = %+v", p.Phases[1])
+	}
+}
+
+func TestProgressServeCounterNames(t *testing.T) {
+	// The serve counters are part of the stable exported inventory.
+	want := map[Counter]string{
+		CtrJobsSubmitted:  "serve-jobs-submitted",
+		CtrJobsRunning:    "serve-jobs-running",
+		CtrJobsDone:       "serve-jobs-done",
+		CtrQuestionsAsked: "serve-questions-asked",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), name)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Fuzzing the server's trust boundary: DecodeJobSpec sees raw request
+// bodies, and everything downstream — file paths joined under the
+// dataset root, worker budgets, memory ceilings — believes what it
+// admits. The fuzz target checks that arbitrary bodies never panic the
+// decoder and that every accepted spec satisfies the invariants the
+// executor relies on.
+package serve
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fuzzLimits mirror a plausible server configuration.
+var fuzzLimits = Limits{MaxBody: 1 << 20, MaxJobBytes: 1 << 30, MaxParallelism: 64}
+
+// checkAdmitted asserts the invariants of a spec that passed
+// validation; a violation means the decoder let something through that
+// the executor would act on.
+func checkAdmitted(t *testing.T, spec *JobSpec) {
+	t.Helper()
+	if strings.TrimSpace(spec.SchemaSQL) == "" {
+		t.Fatal("admitted a spec with no schema")
+	}
+	if spec.Dataset != "" && len(spec.CSV) > 0 {
+		t.Fatal("admitted dataset and csv together")
+	}
+	names := []string{}
+	if spec.Dataset != "" {
+		names = append(names, spec.Dataset)
+	}
+	for rel := range spec.CSV {
+		names = append(names, rel)
+	}
+	for _, name := range names {
+		// The executor joins these under a root directory; an admitted
+		// name must resolve inside it.
+		if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") ||
+			strings.HasPrefix(name, ".") || strings.ContainsRune(name, 0) {
+			t.Fatalf("admitted traversal-capable name %q", name)
+		}
+		if !filepath.IsLocal(name) {
+			t.Fatalf("admitted non-local name %q", name)
+		}
+		if len(name) > maxNameLen {
+			t.Fatalf("admitted %d-byte name", len(name))
+		}
+	}
+	if spec.Parallelism < 0 || spec.Parallelism > fuzzLimits.MaxParallelism {
+		t.Fatalf("admitted parallelism %d", spec.Parallelism)
+	}
+	if spec.MaxBytes < 0 || spec.MaxBytes > fuzzLimits.MaxJobBytes {
+		t.Fatalf("admitted max_bytes %d", spec.MaxBytes)
+	}
+	if spec.AutoAnswerAfterMS < 0 {
+		t.Fatalf("admitted negative auto-answer deadline %d", spec.AutoAnswerAfterMS)
+	}
+	for _, r := range []*float64{spec.InclusionSlack, spec.MaxViolationRate} {
+		if r != nil && (*r != *r || *r < 0 || *r > 1) {
+			t.Fatalf("admitted rate %v", *r)
+		}
+	}
+	switch spec.Expert {
+	case "", ExpertAuto, ExpertAPI, ExpertDeny:
+	default:
+		t.Fatalf("admitted expert %q", spec.Expert)
+	}
+	for _, k := range spec.Ask {
+		if !validQuestionKind(k) {
+			t.Fatalf("admitted question kind %q", k)
+		}
+	}
+}
+
+// FuzzJobRequest throws arbitrary bodies at the submission decoder.
+func FuzzJobRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"schema_sql": "CREATE TABLE t (a INTEGER);"}`,
+		`{"schema_sql": "CREATE TABLE t (a INTEGER);", "csv": {"t": "a\n1\n"}, "programs": {"p.sql": "SELECT 1;"}}`,
+		`{"schema_sql": "CREATE TABLE t (a INTEGER);", "dataset": "demo", "expert": "api", "ask": ["nei"]}`,
+		`{"schema_sql": "CREATE TABLE t (a INTEGER);", "dataset": "../../../etc/passwd"}`,
+		`{"schema_sql": "CREATE TABLE t (a INTEGER);", "csv": {"..": ""}}`,
+		`{"schema_sql": "CREATE TABLE t (a INTEGER);", "csv": {"a/b": ""}}`,
+		`{"schema_sql": "x", "parallelism": 9999999}`,
+		`{"schema_sql": "x", "max_bytes": -1}`,
+		`{"schema_sql": "x", "inclusion_slack": 2.0}`,
+		`{"schema_sql": "x", "auto_answer_after_ms": 99999999999999}`,
+		`{"schema_sql": "x", "unknown_field": true}`,
+		`{"schema_sql": "x"} trailing`,
+		`{"schema_sql": "x", "expert": "psychic"}`,
+		`{"schema_sql": "x", "ask": ["nei"]}`,
+		"{\"schema_sql\": \"x\", \"dataset\": \"a\\u0000b\"}",
+		`{"schema_sql": 42}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(data, fuzzLimits)
+		if err != nil {
+			if spec != nil {
+				t.Fatal("error with a non-nil spec")
+			}
+			return
+		}
+		checkAdmitted(t, spec)
+	})
+}

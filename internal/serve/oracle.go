@@ -1,0 +1,354 @@
+// The expert oracle over the API: the paper's interactive dialogue
+// becomes a pending-question queue. Each consultation the pipeline makes
+// turns into a Question a client can list and answer over HTTP; the
+// pipeline's worker blocks until the answer arrives, the configured
+// auto-answer deadline passes, or the job is cancelled — in the latter
+// two cases the question resolves with the default the automatic policy
+// would have given, so an unattended or abandoned session degrades to
+// exactly the auto-expert run.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"dbre/internal/deps"
+	"dbre/internal/expert"
+	"dbre/internal/obs"
+	"dbre/internal/relation"
+)
+
+// Question kinds, one per Oracle consultation point.
+const (
+	KindNEI          = "nei"
+	KindValidateFD   = "validate-fd"
+	KindEnforceFD    = "enforce-fd"
+	KindHiddenObject = "hidden-object"
+	KindNameRelation = "name-relation"
+)
+
+// questionKinds lists every kind, for Ask validation.
+var questionKinds = []string{KindNEI, KindValidateFD, KindEnforceFD, KindHiddenObject, KindNameRelation}
+
+func validQuestionKind(k string) bool {
+	for _, q := range questionKinds {
+		if q == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Answer is a client's reply to one question. Which field matters
+// depends on the question kind: Action for nei (one of the question's
+// Choices), Accept for the boolean kinds, Name for name-relation (and
+// optionally for a nei new-relation action).
+type Answer struct {
+	Action string `json:"action,omitempty"`
+	Accept *bool  `json:"accept,omitempty"`
+	Name   string `json:"name,omitempty"`
+}
+
+// Question states.
+const (
+	questionPending  = "pending"
+	questionAnswered = "answered"
+	questionAuto     = "auto-answered"
+)
+
+// Question is one expert consultation exposed over the API.
+type Question struct {
+	ID      string            `json:"id"`
+	Kind    string            `json:"kind"`
+	Subject string            `json:"subject"`
+	Detail  map[string]string `json:"detail,omitempty"`
+	// Choices enumerates the valid Answer.Action values (nei only).
+	Choices []string `json:"choices,omitempty"`
+	// Default is the answer the automatic policy would give — and the
+	// one applied on auto-answer or cancellation.
+	Default Answer `json:"default"`
+	// State is pending, answered, or auto-answered.
+	State string `json:"state"`
+	// Answer echoes the resolution once the question left pending.
+	Answer *Answer `json:"answer,omitempty"`
+}
+
+// Sentinel errors of the answer path; the handler maps them to 404/409.
+var (
+	errQuestionNotFound = fmt.Errorf("unknown question")
+	errQuestionResolved = fmt.Errorf("question already resolved")
+)
+
+// questionQueue is one job's pending-question store. IDs are q1, q2, ...
+// in consultation order, which the sequential decision loops make
+// deterministic for a given input and answer history.
+type questionQueue struct {
+	mu    sync.Mutex
+	seq   int
+	byID  map[string]*pendingQuestion
+	order []string
+}
+
+type pendingQuestion struct {
+	view Question
+	// ch delivers the accepted answer to the blocked oracle (buffered:
+	// answering never waits for the oracle's select).
+	ch chan Answer
+}
+
+func newQuestionQueue() *questionQueue {
+	return &questionQueue{byID: make(map[string]*pendingQuestion)}
+}
+
+// post registers a new pending question and returns it.
+func (qq *questionQueue) post(kind, subject string, detail map[string]string, choices []string, def Answer) *pendingQuestion {
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	qq.seq++
+	pq := &pendingQuestion{
+		view: Question{
+			ID:      "q" + strconv.Itoa(qq.seq),
+			Kind:    kind,
+			Subject: subject,
+			Detail:  detail,
+			Choices: choices,
+			Default: def,
+			State:   questionPending,
+		},
+		ch: make(chan Answer, 1),
+	}
+	qq.byID[pq.view.ID] = pq
+	qq.order = append(qq.order, pq.view.ID)
+	return pq
+}
+
+// answer resolves a pending question with a client-supplied answer.
+func (qq *questionQueue) answer(id string, a Answer) error {
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	pq, ok := qq.byID[id]
+	if !ok {
+		return errQuestionNotFound
+	}
+	if pq.view.State != questionPending {
+		return errQuestionResolved
+	}
+	if err := checkAnswer(&pq.view, a); err != nil {
+		return err
+	}
+	pq.view.State = questionAnswered
+	ans := a
+	pq.view.Answer = &ans
+	pq.ch <- a
+	return nil
+}
+
+// abandon resolves a question from the oracle's side (auto-answer
+// deadline or cancellation) with the default answer. If a client answer
+// won the race, that answer is returned instead so the oracle and the
+// question log never disagree.
+func (qq *questionQueue) abandon(id string) (Answer, bool) {
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	pq, ok := qq.byID[id]
+	if !ok {
+		return Answer{}, false
+	}
+	if pq.view.State == questionAnswered {
+		return *pq.view.Answer, true
+	}
+	if pq.view.State == questionPending {
+		pq.view.State = questionAuto
+		def := pq.view.Default
+		pq.view.Answer = &def
+	}
+	return *pq.view.Answer, false
+}
+
+// checkAnswer validates the answer against the question's kind, so a
+// malformed reply is a client error, not a silent default.
+func checkAnswer(q *Question, a Answer) error {
+	switch q.Kind {
+	case KindNEI:
+		for _, c := range q.Choices {
+			if a.Action == c {
+				return nil
+			}
+		}
+		return fmt.Errorf("answer action %q is not one of %v", a.Action, q.Choices)
+	case KindValidateFD, KindEnforceFD, KindHiddenObject:
+		if a.Accept == nil {
+			return fmt.Errorf("answer to a %s question requires accept", q.Kind)
+		}
+		return nil
+	case KindNameRelation:
+		if a.Name == "" {
+			return fmt.Errorf("answer to a %s question requires name", q.Kind)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unanswerable question kind %q", q.Kind)
+	}
+}
+
+// list snapshots every question in consultation order.
+func (qq *questionQueue) list() []Question {
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	out := make([]Question, 0, len(qq.order))
+	for _, id := range qq.order {
+		out = append(out, qq.byID[id].view)
+	}
+	return out
+}
+
+// pendingCount counts unanswered questions.
+func (qq *questionQueue) pendingCount() int {
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	n := 0
+	for _, pq := range qq.byID {
+		if pq.view.State == questionPending {
+			n++
+		}
+	}
+	return n
+}
+
+// apiOracle implements expert.Oracle by escalating consultations to the
+// job's question queue. It is expert.ContextAware: the pipeline binds the
+// job context before the first consultation, so cancellation resolves
+// any blocked question immediately.
+type apiOracle struct {
+	ctx       context.Context
+	qq        *questionQueue
+	fallback  expert.Oracle
+	ask       map[string]bool // nil escalates every kind
+	autoAfter time.Duration   // 0 waits until answered or cancelled
+	counters  *obs.Tracer     // server-wide tracer (CtrQuestionsAsked)
+}
+
+// BindContext implements expert.ContextAware.
+func (o *apiOracle) BindContext(ctx context.Context) expert.Oracle {
+	c := *o
+	c.ctx = ctx
+	return &c
+}
+
+func (o *apiOracle) escalates(kind string) bool {
+	return o.ask == nil || o.ask[kind]
+}
+
+// await escalates one consultation and blocks for its resolution.
+func (o *apiOracle) await(kind, subject string, detail map[string]string, choices []string, def Answer) Answer {
+	if !o.escalates(kind) {
+		return def
+	}
+	pq := o.qq.post(kind, subject, detail, choices, def)
+	o.counters.Add(obs.CtrQuestionsAsked, 1)
+	var timeout <-chan time.Time
+	if o.autoAfter > 0 {
+		tm := time.NewTimer(o.autoAfter)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	var done <-chan struct{}
+	if o.ctx != nil {
+		done = o.ctx.Done()
+	}
+	select {
+	case a := <-pq.ch:
+		return a
+	case <-done:
+	case <-timeout:
+	}
+	// Deadline or cancellation: resolve with the default unless a
+	// client answer won the race.
+	a, _ := o.qq.abandon(pq.view.ID)
+	return a
+}
+
+// DecideNEI implements expert.Oracle.
+func (o *apiOracle) DecideNEI(c expert.NEIContext) expert.NEIDecision {
+	def := o.fallback.DecideNEI(c)
+	detail := map[string]string{
+		"left":  c.Join.Left.String(),
+		"right": c.Join.Right.String(),
+		"nk":    strconv.Itoa(c.NK),
+		"nl":    strconv.Itoa(c.NL),
+		"nkl":   strconv.Itoa(c.NKL),
+	}
+	choices := []string{
+		expert.NEIIgnore.String(),
+		expert.NEINewRelation.String(),
+		expert.NEIForceLeft.String(),
+		expert.NEIForceRight.String(),
+	}
+	a := o.await(KindNEI, c.Join.String(), detail, choices, Answer{Action: def.Action.String(), Name: def.Name})
+	switch a.Action {
+	case expert.NEIIgnore.String():
+		return expert.NEIDecision{Action: expert.NEIIgnore}
+	case expert.NEINewRelation.String():
+		return expert.NEIDecision{Action: expert.NEINewRelation, Name: a.Name}
+	case expert.NEIForceLeft.String():
+		return expert.NEIDecision{Action: expert.NEIForceLeft}
+	case expert.NEIForceRight.String():
+		return expert.NEIDecision{Action: expert.NEIForceRight}
+	default:
+		return def
+	}
+}
+
+// ValidateFD implements expert.Oracle.
+func (o *apiOracle) ValidateFD(fd deps.FD, s expert.FDSupport) bool {
+	def := o.fallback.ValidateFD(fd, s)
+	a := o.await(KindValidateFD, fd.String(), supportDetail(s), nil, Answer{Accept: boolPtr(def)})
+	if a.Accept != nil {
+		return *a.Accept
+	}
+	return def
+}
+
+// EnforceFD implements expert.Oracle.
+func (o *apiOracle) EnforceFD(rel string, lhs relation.AttrSet, attr string, s expert.FDSupport) bool {
+	def := o.fallback.EnforceFD(rel, lhs, attr, s)
+	subject := fmt.Sprintf("%s: %s -> %s", rel, lhs, attr)
+	a := o.await(KindEnforceFD, subject, supportDetail(s), nil, Answer{Accept: boolPtr(def)})
+	if a.Accept != nil {
+		return *a.Accept
+	}
+	return def
+}
+
+// ConceptualizeHidden implements expert.Oracle.
+func (o *apiOracle) ConceptualizeHidden(ref relation.Ref) bool {
+	def := o.fallback.ConceptualizeHidden(ref)
+	a := o.await(KindHiddenObject, ref.String(), nil, nil, Answer{Accept: boolPtr(def)})
+	if a.Accept != nil {
+		return *a.Accept
+	}
+	return def
+}
+
+// NameRelation implements expert.Oracle.
+func (o *apiOracle) NameRelation(kind expert.NameKind, base relation.Ref, suggested string) string {
+	def := o.fallback.NameRelation(kind, base, suggested)
+	detail := map[string]string{"kind": kind.String(), "suggested": suggested}
+	a := o.await(KindNameRelation, base.String(), detail, nil, Answer{Name: def})
+	if a.Name != "" {
+		return a.Name
+	}
+	return def
+}
+
+func supportDetail(s expert.FDSupport) map[string]string {
+	return map[string]string{
+		"rows":       strconv.Itoa(s.Rows),
+		"violations": strconv.Itoa(s.Violations),
+	}
+}
+
+func boolPtr(b bool) *bool { return &b }

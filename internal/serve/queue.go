@@ -1,0 +1,319 @@
+// The job queue: a bounded worker pool executing discovery jobs under
+// per-job contexts, an in-memory job store with TTL eviction of finished
+// jobs, and graceful shutdown that cancels everything in flight. The
+// bounds are structural — at most Workers pipelines run concurrently
+// because only the worker goroutines execute jobs, and at most
+// QueueDepth jobs wait because the queue channel's buffer is the
+// backlog — so no admission decision ever needs a second lock.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dbre/internal/core"
+	"dbre/internal/csvio"
+	"dbre/internal/expert"
+	"dbre/internal/obs"
+	"dbre/internal/sql/exec"
+)
+
+// submit validates admission and enqueues a new job. The returned error
+// is nil on acceptance; errTooBusy and errClosed map to 503.
+var (
+	errTooBusy = errors.New("job queue is full")
+	errClosed  = errors.New("server is shutting down")
+)
+
+func (s *Server) submit(spec *JobSpec, body []byte) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.ctx)
+	j := newJob(jobID(s.seq, body), spec, cancel)
+	j.ctx = ctx
+	// Everything the worker reads is in place before the enqueue makes
+	// the job visible to it.
+	select {
+	case s.queue <- j:
+	default:
+		s.seq--
+		cancel()
+		return nil, errTooBusy
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.tracer.Add(obs.CtrJobsSubmitted, 1)
+	return j, nil
+}
+
+// worker executes jobs until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// noteRunning maintains the running gauge and its high-water mark.
+func (s *Server) noteRunning(delta int) {
+	s.tracer.Add(obs.CtrJobsRunning, int64(delta))
+	s.mu.Lock()
+	s.running += delta
+	if s.running > s.peak {
+		s.peak = s.running
+	}
+	s.mu.Unlock()
+}
+
+// finishJob records a terminal state; the done counter ticks only for
+// the call that actually performed the transition, so racing finishers
+// (a DELETE against the worker's own completion) count the job once.
+func (s *Server) finishJob(j *job, state JobState, msg string) {
+	if j.finish(state, msg, s.cfg.Clock()) {
+		s.tracer.Add(obs.CtrJobsDone, 1)
+	}
+}
+
+// runJob executes one job end to end on the calling worker goroutine.
+func (s *Server) runJob(j *job) {
+	// A job cancelled while queued never starts.
+	if j.ctx.Err() != nil || !j.start() {
+		s.finishJob(j, StateCancelled, "cancelled while queued")
+		return
+	}
+	s.noteRunning(1)
+	defer s.noteRunning(-1)
+
+	tracer := obs.NewTracerClock("dbre", s.cfg.Clock)
+	j.mu.Lock()
+	j.tracer = tracer
+	j.mu.Unlock()
+	ctx := obs.NewContext(j.ctx, tracer)
+
+	err := s.execute(ctx, j, tracer)
+	state := StateDone
+	msg := ""
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		state, msg = StateCancelled, "cancelled"
+	default:
+		state, msg = StateFailed, err.Error()
+	}
+	s.finishJob(j, state, msg)
+}
+
+// execute runs the pipeline for one job: load the database, enforce the
+// memory ceiling, build the oracle, reverse-engineer, render the
+// artifacts. The rendered report is byte-identical to the one-shot run
+// on the same inputs: the same loaders, the same core entry point, the
+// same tracer shape.
+func (s *Server) execute(ctx context.Context, j *job, tracer *obs.Tracer) error {
+	spec := j.spec
+	db, errs := exec.LoadScript(spec.SchemaSQL)
+	if len(errs) > 0 {
+		return fmt.Errorf("loading script: %w (and %d more)", errs[0], len(errs)-1)
+	}
+
+	violations := 0
+	switch {
+	case spec.Dataset != "":
+		if s.cfg.DatasetRoot == "" {
+			return errors.New("server has no dataset root configured")
+		}
+		v, err := csvio.LoadDirCtx(ctx, db, filepath.Join(s.cfg.DatasetRoot, spec.Dataset), false,
+			csvio.Options{Parallelism: spec.Parallelism})
+		if err != nil {
+			return fmt.Errorf("loading dataset %s: %w", spec.Dataset, err)
+		}
+		violations = v
+	case len(spec.CSV) > 0:
+		dir, err := os.MkdirTemp("", "dbre-job-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		for rel, body := range spec.CSV {
+			// rel passed validateName at decode time, so the join cannot
+			// escape the scratch directory.
+			if err := os.WriteFile(filepath.Join(dir, rel+".csv"), []byte(body), 0o600); err != nil {
+				return err
+			}
+		}
+		v, err := csvio.LoadDirCtx(ctx, db, dir, false, csvio.Options{Parallelism: spec.Parallelism})
+		if err != nil {
+			return fmt.Errorf("loading inline csv: %w", err)
+		}
+		violations = v
+	}
+	j.mu.Lock()
+	j.violations = violations
+	j.mu.Unlock()
+
+	// The per-job memory ceiling, checked at ingest: the loaded
+	// extension's estimated footprint must fit before any discovery
+	// phase (whose own projections are proportional to it) runs.
+	ceiling := s.cfg.MaxJobBytes
+	if spec.MaxBytes > 0 && spec.MaxBytes < ceiling {
+		ceiling = spec.MaxBytes
+	}
+	if got := db.ApproxBytes(); ceiling > 0 && got > ceiling {
+		return fmt.Errorf("extension footprint %d bytes exceeds the job ceiling %d", got, ceiling)
+	}
+
+	opts := core.Options{
+		Oracle:            s.buildOracle(j),
+		TransitiveClosure: !spec.NoClosure,
+		InferKeys:         spec.InferKeys,
+		Parallelism:       spec.Parallelism,
+	}
+	rep, err := core.RunContext(ctx, db, spec.Programs, opts)
+	tracer.Finish()
+	if err != nil {
+		return err
+	}
+
+	var trace bytes.Buffer
+	if err := tracer.WriteJSON(&trace); err != nil {
+		return fmt.Errorf("rendering trace: %w", err)
+	}
+	j.mu.Lock()
+	j.reportText = rep.Text()
+	j.traceJSON = trace.Bytes()
+	if rep.EER != nil {
+		j.eerDOT = rep.EER.DOT()
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// buildOracle assembles the job's expert: the tuned automatic policy,
+// the deny baseline, or the API oracle falling back to the tuned policy.
+func (s *Server) buildOracle(j *job) expert.Oracle {
+	spec := j.spec
+	auto := expert.NewAuto()
+	if spec.InclusionSlack != nil {
+		auto.InclusionSlack = *spec.InclusionSlack
+	}
+	if spec.MaxViolationRate != nil {
+		auto.MaxViolationRate = *spec.MaxViolationRate
+	}
+	switch spec.Expert {
+	case ExpertDeny:
+		return expert.Deny{}
+	case ExpertAPI:
+		var ask map[string]bool
+		if len(spec.Ask) > 0 {
+			ask = make(map[string]bool, len(spec.Ask))
+			for _, k := range spec.Ask {
+				ask[k] = true
+			}
+		}
+		autoAfter := s.cfg.AutoAnswerAfter
+		if spec.AutoAnswerAfterMS > 0 {
+			autoAfter = time.Duration(spec.AutoAnswerAfterMS) * time.Millisecond
+		}
+		// The pipeline binds the job context via expert.ContextAware
+		// before the first consultation.
+		return &apiOracle{
+			qq:        j.questions,
+			fallback:  auto,
+			ask:       ask,
+			autoAfter: autoAfter,
+			counters:  s.tracer,
+		}
+	default:
+		return auto
+	}
+}
+
+// sweep evicts finished jobs older than the TTL. The janitor calls it on
+// a timer; tests call it directly with a synthetic clock.
+func (s *Server) sweep() {
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		evict := j.state.Terminal() && !j.doneAt.IsZero() && now.Sub(j.doneAt) >= s.cfg.TTL
+		j.mu.Unlock()
+		if evict {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// janitor periodically sweeps until the server closes.
+func (s *Server) janitor(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sweep()
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// Close shuts the server down: no new submissions, every queued and
+// running job cancelled, workers drained. In-flight pipelines observe
+// the cancellation at their next phase or candidate boundary — and any
+// question blocked on the API resolves immediately — so Close returns
+// promptly with every job in a terminal state.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancelAll()
+	close(s.queue)
+	s.wg.Wait()
+	return nil
+}
+
+// Stats is a point-in-time view of the queue, used by monitoring and the
+// concurrency tests.
+type Stats struct {
+	// Submitted / Done are the lifetime counters; Running is the current
+	// gauge and PeakRunning its high-water mark, which can never exceed
+	// the configured worker count.
+	Submitted   int64
+	Done        int64
+	Running     int
+	PeakRunning int
+	// Stored is the number of jobs currently retained in the store.
+	Stored int
+}
+
+// Stats snapshots the queue counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Submitted:   s.tracer.Count(obs.CtrJobsSubmitted),
+		Done:        s.tracer.Count(obs.CtrJobsDone),
+		Running:     s.running,
+		PeakRunning: s.peak,
+		Stored:      len(s.jobs),
+	}
+}

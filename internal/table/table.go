@@ -1006,3 +1006,50 @@ func (db *Database) TotalRows() int {
 	}
 	return n
 }
+
+// valueBytes estimates the resident size of one stored value: the boxed
+// Value struct plus any string payload it pins.
+func valueBytes(v value.Value) int64 {
+	const structBytes = 40 // kind + i + f + string header, padded
+	if v.Kind() == value.KindString {
+		return structBytes + int64(len(v.Str()))
+	}
+	return structBytes
+}
+
+// ApproxBytes estimates the resident heap size of the table's extension:
+// code vectors, dictionaries and interning maps on the columnar engine,
+// boxed rows on the row engine. It is a sizing heuristic (within a small
+// constant factor of live heap, ignoring allocator slack and slice spare
+// capacity), intended for admission control — the job server's per-job
+// memory ceiling — not for accounting.
+func (t *Table) ApproxBytes() int64 {
+	var b int64
+	for i := range t.columns {
+		c := &t.columns[i]
+		b += int64(len(c.codes)) * 4
+		for _, v := range c.dict {
+			b += valueBytes(v)
+		}
+		// The ints/keys interning maps hold one entry per dictionary
+		// code: ~16 bytes of bucket overhead beyond the key payload
+		// already counted through the dictionary.
+		b += int64(len(c.dict)) * 16
+	}
+	for _, r := range t.rows {
+		b += 24 // slice header
+		for _, v := range r {
+			b += valueBytes(v)
+		}
+	}
+	return b
+}
+
+// ApproxBytes sums ApproxBytes over every relation of the database.
+func (db *Database) ApproxBytes() int64 {
+	var b int64
+	for _, t := range db.tables {
+		b += t.ApproxBytes()
+	}
+	return b
+}

@@ -573,3 +573,39 @@ func TestDistinctCountIntFastPathAgreesWithGeneric(t *testing.T) {
 		t.Errorf("fast path %d vs generic %d", fast, len(set))
 	}
 }
+
+func TestApproxBytes(t *testing.T) {
+	for _, engine := range []Engine{EngineColumnar, EngineRow} {
+		tab := NewWithEngine(simpleSchema(t), engine)
+		if tab.ApproxBytes() != 0 {
+			t.Errorf("%s: empty table ApproxBytes = %d, want 0", engine, tab.ApproxBytes())
+		}
+		empty := tab.ApproxBytes()
+		for i := int64(0); i < 100; i++ {
+			tab.MustInsert(Row{value.NewInt(i), value.NewInt(i % 3), value.NewString(strings.Repeat("x", 50))})
+		}
+		got := tab.ApproxBytes()
+		if got <= empty {
+			t.Fatalf("%s: ApproxBytes did not grow (%d)", engine, got)
+		}
+		// Sanity bounds: at least the 100 stored 50-byte strings'
+		// payload (columnar dictionaries dedupe to one entry), at most a
+		// few hundred bytes per row.
+		if engine == EngineRow && got < 100*50 {
+			t.Errorf("row engine ApproxBytes = %d, implausibly small", got)
+		}
+		if got > 100*1000 {
+			t.Errorf("%s: ApproxBytes = %d, implausibly large", engine, got)
+		}
+	}
+
+	// Database-level sum.
+	db := NewDatabase(relation.MustCatalog(simpleSchema(t)))
+	if db.ApproxBytes() != 0 {
+		t.Errorf("empty database ApproxBytes = %d", db.ApproxBytes())
+	}
+	db.MustTable("R").MustInsert(Row{value.NewInt(1), value.NewInt(2), value.NewString("y")})
+	if db.ApproxBytes() != db.MustTable("R").ApproxBytes() || db.ApproxBytes() == 0 {
+		t.Errorf("database ApproxBytes = %d", db.ApproxBytes())
+	}
+}

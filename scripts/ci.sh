@@ -2,7 +2,7 @@
 # CI entry point: formatting and vet gates, a documentation link check,
 # build, race-enabled tests (which include the differential equivalence
 # harness and the obs/stats/table allocation regressions), and a short
-# fuzz smoke of the three input-facing fuzz targets. Run from the repository
+# fuzz smoke of the four input-facing fuzz targets. Run from the repository
 # root; the GitHub Actions workflow (.github/workflows/ci.yml) invokes
 # exactly this script so local runs reproduce CI bit for bit.
 set -euo pipefail
@@ -30,6 +30,12 @@ go build ./...
 echo "==> go test -race (unit + differential harness + alloc regressions)"
 go test -race ./...
 
+echo "==> job server: e2e + concurrency suite under -race (explicit)"
+go test -race -count=1 ./internal/serve/...
+
+echo "==> job server: CLI start/submit/shutdown smoke"
+go test -race -count=1 -run 'TestServeSmoke' ./cmd/dbre
+
 echo "==> allocation regressions (explicit, without -race instrumentation)"
 go test -run 'TestAlloc' ./internal/stats ./internal/obs ./internal/table
 
@@ -44,5 +50,8 @@ go test -run=^$ -fuzz='^FuzzScanSource$' -fuzztime="${FUZZTIME}" ./internal/apps
 
 echo "==> fuzz smoke: FuzzCSVLoad (${FUZZTIME})"
 go test -run=^$ -fuzz='^FuzzCSVLoad$' -fuzztime="${FUZZTIME}" ./internal/csvio
+
+echo "==> fuzz smoke: FuzzJobRequest (${FUZZTIME})"
+go test -run=^$ -fuzz='^FuzzJobRequest$' -fuzztime="${FUZZTIME}" ./internal/serve
 
 echo "==> ci.sh: all green"
