@@ -1,16 +1,17 @@
 // Command bench regenerates every experiment of EXPERIMENTS.md: the
 // exact-reproduction artifacts E1–E7 (the paper's worked example, checked
-// against the expected sets) and the quantitative tables B1–B12
+// against the expected sets) and the quantitative tables B1–B14
 // (query-guided vs exhaustive discovery, scalability, corruption sweeps,
 // the statistics cache, the columnar storage engine and its refinement
-// kernels).
+// kernels, parallel batched ingest, and the sketch-based approximate
+// discovery tier).
 //
 // Usage:
 //
 //	bench -run all            # everything
 //	bench -run E3,B2          # a selection
 //	bench -list               # show the experiment registry
-//	bench -run B9 -json out.json   # also write machine-readable results
+//	bench -run B14 -json out.json  # also write machine-readable results
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"dbre/internal/obs"
 	"dbre/internal/paperex"
 	"dbre/internal/relation"
+	"dbre/internal/sketch"
 	"dbre/internal/stats"
 	"dbre/internal/table"
 	"dbre/internal/value"
@@ -90,6 +92,7 @@ func registry() []experiment {
 		{"B11", "observability layer: tracing overhead, disabled-path allocations", runB11},
 		{"B12", "refinement kernel overhaul: dense remapping, prefix reuse, pooled scratch", runB12},
 		{"B13", "parallel batched ingest: chunked loaders, columnar appender, dictionary merge", runB13},
+		{"B14", "sketch triage tier: certain pruning vs exact-only discovery on near-miss INDs", runB14},
 		{"A1", "ablation: transitive equality closure on/off", runA1},
 		{"A2", "ablation: auto-expert inclusion slack sweep on dirty data", runA2},
 		{"A3", "ablation: key inference on keyless dictionaries", runA3},
@@ -1356,5 +1359,159 @@ func runB13(w io.Writer) error {
 	record("ingest_chunks", float64(chunks))
 	record("ingest_merge_remaps", float64(remaps))
 	record("append_allocs_per_op", appendAllocs)
+	return nil
+}
+
+// runB14 measures the sketch-based approximate discovery tier on the
+// adversarial near-miss workload of EXPERIMENTS.md B14: 100k fact tuples
+// whose fact relations carry 16 far-miss attributes each (per-attribute
+// disjoint value ranges — a quadratic mass of certainly-prunable non-IND
+// candidates) and 2 near-miss attributes (one shared range salted with
+// rare sentinels — candidates the signatures usually cannot refute, so
+// they must escalate to the exact kernel). Three legs, each exact-only vs
+// sketch-triaged: exhaustive unary baseline discovery, query-guided
+// IND-Discovery, and RHS-Discovery. Every leg must produce bit-identical
+// results — the tier's contract is that it only skips work whose outcome
+// is proven — and the baseline leg must prune the exercised candidate
+// space by ≥ 10x. scripts/perfgate.sh compares the -json output against
+// the checked-in BENCH_B14.json.
+func runB14(w io.Writer) error {
+	spec := workload.Spec{
+		Seed:              42,
+		Dimensions:        4,
+		Facts:             4,
+		FKsPerFact:        2,
+		AttrsPerDimension: 2,
+		DimensionRows:     2000,
+		FactRows:          25000, // 4 fact relations ⇒ 100k fact tuples
+		ProgramsPerJoin:   1,
+		FarMissAttrs:      16,
+		NearMissAttrs:     2,
+		NearMissNoise:     0.002,
+	}
+	wl := mustWorkload(spec)
+
+	// Sketch maintenance normally rides ingest (csvio -sketch); the
+	// generated workload inserts rows directly, so build the sketches
+	// explicitly and price the pass separately.
+	buildStart := time.Now()
+	for _, name := range wl.DB.Catalog().Names() {
+		if s := wl.DB.MustTable(name).EnableSketches(sketch.Config{}); s != nil {
+			s.CatchUp()
+		}
+	}
+	buildWall := time.Since(buildStart)
+
+	// Leg 1: exhaustive unary baseline, exact vs sketch-triaged.
+	baseOpts := ind.BaselineOptions{MaxArity: 1, TypePruning: true}
+	start := time.Now()
+	opts := baseOpts
+	opts.Stats = stats.NewCache(wl.DB)
+	ex, err := ind.DiscoverBaseline(wl.DB, opts)
+	if err != nil {
+		return err
+	}
+	exWall := time.Since(start)
+	tr := obs.NewTracer("b14")
+	start = time.Now()
+	opts = baseOpts
+	opts.Stats = stats.NewCache(wl.DB)
+	opts.Sketch = true
+	sk, err := ind.DiscoverBaselineCtx(obs.NewContext(context.Background(), tr), wl.DB, opts)
+	if err != nil {
+		return err
+	}
+	skWall := time.Since(start)
+	if ex.INDs.String() != sk.INDs.String() {
+		return fmt.Errorf("B14: sketch-triaged baseline diverged from exact-only")
+	}
+	if got := sk.SketchPruned + sk.SketchEscalated; got != ex.CandidatesTested {
+		return fmt.Errorf("B14: triage split %d+%d does not cover the %d exact tests",
+			sk.SketchPruned, sk.SketchEscalated, ex.CandidatesTested)
+	}
+	if sk.SketchEscalated == 0 {
+		return fmt.Errorf("B14: no escalations — the near-miss columns failed to defeat the signatures")
+	}
+	if c := tr.Count(obs.CtrSketchPrunes); c != int64(sk.SketchPruned) {
+		return fmt.Errorf("B14: sketch-prunes counter %d != result %d", c, sk.SketchPruned)
+	}
+	ratio := float64(ex.CandidatesTested) / float64(sk.SketchEscalated)
+	if ratio < 10 {
+		return fmt.Errorf("B14: candidate-space pruning %.1fx below the 10x target", ratio)
+	}
+
+	// Leg 2: query-guided IND-Discovery, exact vs sketch-triaged. The
+	// program joins are true or near inclusions, so few joins are
+	// certainly empty — the leg pins divergence-freedom on the guided
+	// path (outcomes carry the same counts either way), not pruning mass.
+	q, _ := dbre.ScanPrograms(wl.DB, wl.Programs)
+	gEx, err := ind.DiscoverOpts(wl.DB, q, expert.Deny{}, ind.Opts{Stats: stats.NewCache(wl.DB)})
+	if err != nil {
+		return err
+	}
+	gtr := obs.NewTracer("b14-guided")
+	gSk, err := ind.DiscoverOptsCtx(obs.NewContext(context.Background(), gtr), wl.DB, q, expert.Deny{},
+		ind.Opts{Stats: stats.NewCache(wl.DB), Sketch: true})
+	if err != nil {
+		return err
+	}
+	if gEx.INDs.String() != gSk.INDs.String() || len(gEx.Outcomes) != len(gSk.Outcomes) {
+		return fmt.Errorf("B14: sketch-triaged guided discovery diverged from exact-only")
+	}
+	for i := range gEx.Outcomes {
+		if gEx.Outcomes[i].String() != gSk.Outcomes[i].String() {
+			return fmt.Errorf("B14: guided outcome %d diverged: %s vs %s",
+				i, gEx.Outcomes[i], gSk.Outcomes[i])
+		}
+	}
+
+	// Leg 3: RHS-Discovery, exact vs sketch-triaged, support-insensitive
+	// expert (so the sample-refutation fast path is live).
+	var lhs []relation.Ref
+	for _, l := range wl.Truth.Links {
+		lhs = append(lhs, relation.NewRef(l.Fact, l.FKs...))
+	}
+	start = time.Now()
+	rhsEx, err := fd.DiscoverRHSOpts(wl.DB, lhs, nil, expert.Deny{}, fd.Opts{Stats: stats.NewCache(wl.DB)})
+	if err != nil {
+		return err
+	}
+	rhsExWall := time.Since(start)
+	ftr := obs.NewTracer("b14-rhs")
+	start = time.Now()
+	rhsSk, err := fd.DiscoverRHSOptsCtx(obs.NewContext(context.Background(), ftr), wl.DB, lhs, nil,
+		expert.Deny{}, fd.Opts{Stats: stats.NewCache(wl.DB), Sketch: true})
+	if err != nil {
+		return err
+	}
+	rhsSkWall := time.Since(start)
+	if fmt.Sprint(rhsEx.FDs) != fmt.Sprint(rhsSk.FDs) ||
+		fmt.Sprint(rhsEx.Hidden) != fmt.Sprint(rhsSk.Hidden) ||
+		rhsEx.ExtensionChecks != rhsSk.ExtensionChecks {
+		return fmt.Errorf("B14: sketch-triaged RHS-Discovery diverged from exact-only")
+	}
+	rhsPruned := ftr.Count(obs.CtrSketchPrunes)
+
+	printTable(w, []string{"leg", "exact", "sketch", "tests exact", "escalated", "pruned"}, [][]string{
+		{"baseline unary", exWall.Round(time.Microsecond).String(), skWall.Round(time.Microsecond).String(),
+			fmt.Sprint(ex.CandidatesTested), fmt.Sprint(sk.SketchEscalated), fmt.Sprint(sk.SketchPruned)},
+		{"guided joins", "-", "-", fmt.Sprint(len(gEx.Outcomes)),
+			fmt.Sprint(gtr.Count(obs.CtrSketchEscalations)), fmt.Sprint(gtr.Count(obs.CtrSketchPrunes))},
+		{"RHS-Discovery", rhsExWall.Round(time.Microsecond).String(), rhsSkWall.Round(time.Microsecond).String(),
+			fmt.Sprint(rhsEx.ExtensionChecks), fmt.Sprint(ftr.Count(obs.CtrSketchEscalations)), fmt.Sprint(rhsPruned)},
+	})
+	fmt.Fprintf(w, "  sketch build: %v for the whole extension (rides ingest in production)\n",
+		buildWall.Round(time.Microsecond))
+	fmt.Fprintf(w, "  baseline candidate-space pruning %.1fx (target ≥ 10x), results identical in all legs\n", ratio)
+	record("sketch_build_ms", float64(buildWall.Microseconds())/1000)
+	record("baseline_exact_ms", float64(exWall.Microseconds())/1000)
+	record("baseline_sketch_ms", float64(skWall.Microseconds())/1000)
+	record("prune_ratio", ratio)
+	record("exact_tested", float64(ex.CandidatesTested))
+	record("sketch_pruned", float64(sk.SketchPruned))
+	record("sketch_escalated", float64(sk.SketchEscalated))
+	record("rhs_exact_ms", float64(rhsExWall.Microseconds())/1000)
+	record("rhs_sketch_ms", float64(rhsSkWall.Microseconds())/1000)
+	record("rhs_sketch_pruned", float64(rhsPruned))
 	return nil
 }

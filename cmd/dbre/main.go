@@ -9,6 +9,7 @@
 //	dbre -schema legacy.sql [-data dir] [-programs dir]
 //	     [-expert auto|interactive|deny] [-format text|dot]
 //	     [-out-data dir] [-no-closure]
+//	     [-sketch] [-sketch-precision p] [-sketch-k k]
 //	     [-trace out.json] [-debug-addr localhost:6060]
 //
 //	dbre -serve :8080 [-serve-workers n] [-job-ttl 1h]
@@ -16,6 +17,14 @@
 //
 // With -expert interactive the paper's expert-user dialogue runs on the
 // terminal; auto applies the default trust-the-extension policy.
+//
+// -sketch enables the approximate triage tier: per-column sketches are
+// maintained during ingest and the discovery phases prune candidates the
+// sketches refute with certainty, escalating the rest to the exact
+// kernels — results are bit-identical to a run without it, and the
+// sketch-prunes / sketch-escalations / sketch-build counters in the
+// trace show the triage ratio. -sketch-precision and -sketch-k tune the
+// HyperLogLog precision and signature size (0 = defaults).
 //
 // -serve starts the discovery job server instead of a one-shot run:
 // databases and program sets are submitted as asynchronous jobs over
@@ -107,6 +116,9 @@ func run(args []string, out io.Writer) error {
 	noClosure := fs.Bool("no-closure", false, "disable transitive closure of equality chains")
 	inferKeys := fs.Bool("infer-keys", false, "infer data-supported keys for relations without UNIQUE declarations")
 	parallel := fs.Int("parallel", 0, "CSV-ingest and IND-Discovery counting workers (0 = serial; results identical)")
+	sketchOn := fs.Bool("sketch", false, "approximate triage tier: sketch-prune certain non-candidates, escalate the rest (results identical)")
+	sketchPrecision := fs.Int("sketch-precision", 0, "sketch tier: HyperLogLog precision p, 2^p registers per column (0 = default 12)")
+	sketchK := fs.Int("sketch-k", 0, "sketch tier: bottom-k signature size per column (0 = default 256)")
 	slack := fs.Float64("slack", 0.98, "auto expert: near-inclusion forcing threshold")
 	tolerate := fs.Float64("tolerate", 0, "auto expert: max FD violation rate still enforced")
 	tracePath := fs.String("trace", "", "write a JSON execution trace (spans + counters) to this file")
@@ -157,6 +169,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *sketchOn {
+		// Before the CSV load, so the sketches ride the batch appends.
+		dbre.EnableSketches(db, *sketchPrecision, *sketchK)
+	}
 	if *data != "" {
 		violations, err := dbre.LoadCSVDirCtx(ctx, db, *data, *parallel)
 		if err != nil {
@@ -188,6 +204,7 @@ func run(args []string, out io.Writer) error {
 		TransitiveClosure: !*noClosure,
 		InferKeys:         *inferKeys,
 		Parallelism:       *parallel,
+		Sketch:            *sketchOn,
 	}
 	var report *dbre.Report
 	if *programs != "" {

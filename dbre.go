@@ -48,6 +48,7 @@ import (
 	"dbre/internal/relation"
 	"dbre/internal/restruct"
 	"dbre/internal/serve"
+	"dbre/internal/sketch"
 	"dbre/internal/sql/exec"
 	"dbre/internal/table"
 )
@@ -173,6 +174,20 @@ func LoadCSVDir(db *Database, dir string) (violations int, err error) {
 // spans and the ingest-* counters.
 func LoadCSVDirCtx(ctx context.Context, db *Database, dir string, parallelism int) (violations int, err error) {
 	return csvio.LoadDirCtx(ctx, db, dir, false, csvio.Options{Parallelism: parallelism})
+}
+
+// EnableSketches turns on the approximate discovery tier's incremental
+// sketch maintenance (per-column distinct-count and signature sketches
+// plus a deterministic row sample) for every relation of the database,
+// with the given knobs — zero values select the defaults. Call it before
+// loading the extension so the sketches ride the batch ingest in one
+// pass; pair with Options.Sketch to put the triage tier in front of the
+// exact discovery kernels. No-op on row-engine tables.
+func EnableSketches(db *Database, precision, signatureK int) {
+	cfg := sketch.Config{Precision: precision, SignatureK: signatureK}
+	for _, name := range db.Catalog().Names() {
+		db.MustTable(name).EnableSketches(cfg)
+	}
 }
 
 // StoreCSVDir writes every relation of the database to <relation>.csv

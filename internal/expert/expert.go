@@ -546,3 +546,42 @@ func (Deny) ConceptualizeHidden(relation.Ref) bool { return false }
 
 // NameRelation implements Oracle.
 func (Deny) NameRelation(_ NameKind, _ relation.Ref, suggested string) string { return suggested }
+
+// SupportInsensitive is implemented by oracles whose EnforceFD answer —
+// and externally visible behavior while answering (logs, prompts) — does
+// not depend on the exact violation counts of a refuted dependency, only
+// on the fact that it is refuted (Violations >= 1). The FD triage tier
+// may hand such oracles a certain lower bound on the violations instead
+// of running the exact count, with bit-identical discovery results;
+// support-sensitive oracles (Interactive prompts and Recording audit
+// logs render the counts, Auto with a tolerance compares the rate)
+// always get the exact kernel.
+type SupportInsensitive interface {
+	Oracle
+	// EnforceFDIgnoresSupport reports whether EnforceFD is support-
+	// insensitive in the sense above.
+	EnforceFDIgnoresSupport() bool
+}
+
+// IsSupportInsensitive reports whether o declares EnforceFD support-
+// insensitivity. Unknown oracle types are conservatively sensitive.
+func IsSupportInsensitive(o Oracle) bool {
+	si, ok := o.(SupportInsensitive)
+	return ok && si.EnforceFDIgnoresSupport()
+}
+
+// EnforceFDIgnoresSupport implements SupportInsensitive: Deny refuses
+// every enforcement regardless of support.
+func (Deny) EnforceFDIgnoresSupport() bool { return true }
+
+// EnforceFDIgnoresSupport implements SupportInsensitive: with no
+// dirty-data tolerance configured, Auto refuses every enforcement; with
+// one, the answer compares the exact violation rate.
+func (a *Auto) EnforceFDIgnoresSupport() bool { return a.MaxViolationRate <= 0 }
+
+// EnforceFDIgnoresSupport implements SupportInsensitive: scripted
+// answers are keyed by the dependency alone, so sensitivity reduces to
+// the fallback oracle's (nil falls back to a constant refusal).
+func (s *Scripted) EnforceFDIgnoresSupport() bool {
+	return s.Default == nil || IsSupportInsensitive(s.Default)
+}

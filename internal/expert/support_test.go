@@ -1,0 +1,27 @@
+package expert
+
+import "testing"
+
+func TestIsSupportInsensitive(t *testing.T) {
+	auto := NewAuto()
+	tolerant := NewAuto()
+	tolerant.MaxViolationRate = 0.1
+	cases := []struct {
+		name   string
+		oracle Oracle
+		want   bool
+	}{
+		{"deny", Deny{}, true},
+		{"auto-default", auto, true},
+		{"auto-tolerant", tolerant, false},
+		{"scripted-nil-default", NewScripted(), true},
+		{"scripted-deny-default", &Scripted{Default: Deny{}}, true},
+		{"scripted-tolerant-default", &Scripted{Default: tolerant}, false},
+		{"recording", NewRecording(Deny{}), false},
+	}
+	for _, c := range cases {
+		if got := IsSupportInsensitive(c.oracle); got != c.want {
+			t.Errorf("%s: IsSupportInsensitive=%v, want %v", c.name, got, c.want)
+		}
+	}
+}

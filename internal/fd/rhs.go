@@ -27,6 +27,15 @@ type Opts struct {
 	// meaningful with Stats set; results are identical — it exists for
 	// the B12 ablation and differential tests.
 	Legacy bool
+	// Sketch routes the checks through the approximate triage tier
+	// (CheckStatsSketch): the exact ‖r[X]‖ superkey fast path always, and
+	// — only when the oracle's EnforceFD is support-insensitive
+	// (expert.IsSupportInsensitive) — certain refutation from the
+	// deterministic row sample. Accepted FDs, hidden objects, traces and
+	// counters are bit-identical to the exact-only run; the tier only
+	// skips kernel work, surfaced via the sketch-prunes and
+	// sketch-escalations counters. Requires Stats; ignored with Legacy.
+	Sketch bool
 }
 
 // CandidateTrace records how one element of LHS ∪ H was processed by
@@ -131,9 +140,16 @@ func DiscoverRHSOptsCtx(ctx context.Context, db *table.Database, lhs, hidden []r
 	}
 	results := make([]expert.FDSupport, len(checks))
 	errs := make([]error, len(checks))
+	pruned := make([]bool, len(checks))
+	sketchOn := o.Sketch && o.Stats != nil && !o.Legacy
+	sampleRefute := sketchOn && expert.IsSupportInsensitive(oracle)
 	_, ksp := obs.StartSpan(ctx, "check")
 	stats.ForEach(len(checks), o.Workers, func(i int) {
 		cand := plan.candidates[checks[i].cand]
+		if sketchOn {
+			results[i], pruned[i], errs[i] = CheckStatsSketch(o.Stats, cand.Rel, cand.Attrs.Names(), checks[i].attr, sampleRefute)
+			return
+		}
 		if o.Stats != nil {
 			if o.Legacy {
 				results[i], errs[i] = CheckStatsLegacy(o.Stats, cand.Rel, cand.Attrs.Names(), checks[i].attr)
@@ -146,6 +162,17 @@ func DiscoverRHSOptsCtx(ctx context.Context, db *table.Database, lhs, hidden []r
 	})
 	ksp.SetInt("checks", int64(len(checks)))
 	ksp.SetInt("workers", int64(o.Workers))
+	if sketchOn {
+		var prunes int64
+		for _, p := range pruned {
+			if p {
+				prunes++
+			}
+		}
+		ksp.SetInt("sketch-prunes", prunes)
+		tr.Add(obs.CtrSketchPrunes, prunes)
+		tr.Add(obs.CtrSketchEscalations, int64(len(checks))-prunes)
+	}
 	ksp.End()
 	tr.Add(obs.CtrFDChecks, int64(len(checks)))
 	for i, err := range errs {

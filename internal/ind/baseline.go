@@ -1,10 +1,13 @@
 package ind
 
 import (
+	"context"
 	"sort"
 
 	"dbre/internal/deps"
+	"dbre/internal/obs"
 	"dbre/internal/relation"
+	"dbre/internal/sketch"
 	"dbre/internal/stats"
 	"dbre/internal/table"
 	"dbre/internal/value"
@@ -28,6 +31,22 @@ type BaselineOptions struct {
 	// Workers fans the per-attribute projection builds over a bounded
 	// worker pool; ≤ 1 builds serially.
 	Workers int
+	// Sketch puts the approximate triage tier in front of the exact
+	// containment kernel: instead of materializing every attribute's
+	// distinct set up front, the unary pass consults per-column bottom-k
+	// signatures and prunes candidates they refute with certainty (a
+	// signature witness proves a value of the left side is absent from
+	// the right — see sketch.RefuteContainment); only the surviving
+	// candidates escalate to the exact kernel. Accepted INDs are
+	// bit-identical to the exact-only run by construction — the tier can
+	// only skip tests whose exact outcome is a proven rejection. The
+	// split is surfaced via SketchPruned/SketchEscalated and the
+	// sketch-prunes / sketch-escalations counters. Size and type pruning
+	// use exact O(1) dictionary cardinalities, so the prune set is
+	// unchanged. Row-engine tables have no sketches; their candidates all
+	// escalate. Best paired with Stats so escalated tests share cached
+	// projections.
+	Sketch bool
 }
 
 // DefaultBaselineOptions matches the usual unary-discovery setup.
@@ -42,8 +61,16 @@ type BaselineResult struct {
 	// (after pruning); this is the work measure compared against
 	// IND-Discovery's ExtensionQueries in the benchmarks.
 	CandidatesTested int
-	// CandidatesPruned counts pairs skipped by type/size pruning.
+	// CandidatesPruned counts pairs skipped by type/size pruning — and,
+	// with Sketch, by certain signature refutation.
 	CandidatesPruned int
+	// SketchPruned / SketchEscalated split the post-size/type-pruning
+	// unary candidates by triage outcome when Sketch is on: pruned ones
+	// were refuted with certainty and never reached the exact kernel;
+	// escalated ones did. SketchPruned + SketchEscalated equals the
+	// exact-only run's unary CandidatesTested.
+	SketchPruned    int
+	SketchEscalated int
 }
 
 // attrInfo caches per-attribute discovery state.
@@ -53,6 +80,11 @@ type attrInfo struct {
 	kind  value.Kind
 	set   map[string]struct{}
 	isKey bool
+	// Sketch-mode state: the exact distinct cardinality (the dictionary
+	// length — same number len(set) would have) and the column's
+	// signature (nil on the row engine: always escalate).
+	distinct int
+	sig      *sketch.BottomK
 }
 
 // DiscoverBaseline performs exhaustive IND discovery against the extension
@@ -60,6 +92,14 @@ type attrInfo struct {
 // attribute pair is a candidate. This is the method the paper's
 // query-guided elicitation is implicitly compared against.
 func DiscoverBaseline(db *table.Database, opts BaselineOptions) (*BaselineResult, error) {
+	return DiscoverBaselineCtx(context.Background(), db, opts)
+}
+
+// DiscoverBaselineCtx is DiscoverBaseline with observability threaded
+// through the context: with a tracer installed (obs.NewContext) the
+// sketch triage outcomes are published as the sketch-prunes and
+// sketch-escalations counters. Untraced contexts cost nothing.
+func DiscoverBaselineCtx(ctx context.Context, db *table.Database, opts BaselineOptions) (*BaselineResult, error) {
 	if opts.MaxArity < 1 {
 		opts.MaxArity = 1
 	}
@@ -77,12 +117,18 @@ func DiscoverBaseline(db *table.Database, opts BaselineOptions) (*BaselineResult
 			})
 		}
 	}
-	// The per-attribute projection builds are the expensive scans; they
-	// are independent pure reads, so they run on the shared worker
-	// kernel, through the cache when one is supplied.
+	// The per-attribute scans are independent pure reads, so they run on
+	// the shared worker kernel, through the cache when one is supplied.
+	// The exact path materializes each attribute's distinct set; the
+	// sketch path gets away with the O(1) cardinality plus the column's
+	// incrementally maintained signature.
 	errs := make([]error, len(infos))
 	stats.ForEach(len(infos), opts.Workers, func(i int) {
 		info := infos[i]
+		if opts.Sketch {
+			info.distinct, info.sig, errs[i] = attrTriageState(db, opts.Stats, info.rel, info.attr)
+			return
+		}
 		if opts.Stats != nil {
 			info.set, errs[i] = opts.Stats.KeySet(info.rel, []string{info.attr})
 			return
@@ -105,6 +151,7 @@ func DiscoverBaseline(db *table.Database, opts BaselineOptions) (*BaselineResult
 	type unary struct{ li, ri int }
 	var valid []unary
 	for li, l := range infos {
+		sizeL := l.size(opts.Sketch)
 		for ri, r := range infos {
 			if li == ri {
 				continue
@@ -117,12 +164,33 @@ func DiscoverBaseline(db *table.Database, opts BaselineOptions) (*BaselineResult
 				res.CandidatesPruned++
 				continue
 			}
-			if len(l.set) == 0 || len(l.set) > len(r.set) {
+			if sizeL == 0 || sizeL > r.size(opts.Sketch) {
 				res.CandidatesPruned++
 				continue
 			}
-			res.CandidatesTested++
-			if subset(l.set, r.set) {
+			var holds bool
+			if opts.Sketch {
+				if sketch.RefuteContainment(l.sig, r.sig) {
+					res.CandidatesPruned++
+					res.SketchPruned++
+					continue
+				}
+				res.CandidatesTested++
+				res.SketchEscalated++
+				var err error
+				if opts.Stats != nil {
+					holds, err = opts.Stats.ContainedIn(l.rel, []string{l.attr}, r.rel, []string{r.attr})
+				} else {
+					holds, err = table.ContainedIn(db.MustTable(l.rel), []string{l.attr}, db.MustTable(r.rel), []string{r.attr})
+				}
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				res.CandidatesTested++
+				holds = subset(l.set, r.set)
+			}
+			if holds {
 				res.INDs.Add(deps.NewIND(
 					deps.NewSide(l.rel, l.attr),
 					deps.NewSide(r.rel, r.attr),
@@ -131,10 +199,17 @@ func DiscoverBaseline(db *table.Database, opts BaselineOptions) (*BaselineResult
 			}
 		}
 	}
+	if opts.Sketch {
+		tr := obs.FromContext(ctx)
+		tr.Add(obs.CtrSketchPrunes, int64(res.SketchPruned))
+		tr.Add(obs.CtrSketchEscalations, int64(res.SketchEscalated))
+	}
 
 	// Level 2: compose binary candidates from unary ones sharing the same
 	// relation pair, then test against the data (projection containment
-	// is not implied by attribute-wise containment).
+	// is not implied by attribute-wise containment). The sketch tier has
+	// no multi-column signatures, so this level is exact in both modes —
+	// and identical, because the valid unary set feeding it is.
 	if opts.MaxArity >= 2 {
 		for i := 0; i < len(valid); i++ {
 			for j := i + 1; j < len(valid); j++ {
@@ -168,6 +243,49 @@ func DiscoverBaseline(db *table.Database, opts BaselineOptions) (*BaselineResult
 		}
 	}
 	return res, nil
+}
+
+// size is the attribute's distinct cardinality under either mode; the
+// sketch path's exact dictionary count equals len(set) by construction,
+// so size pruning is mode-independent.
+func (a *attrInfo) size(sketchMode bool) int {
+	if sketchMode {
+		return a.distinct
+	}
+	return len(a.set)
+}
+
+// attrTriageState resolves the sketch-mode per-attribute state: the exact
+// distinct count and the column signature (nil when the backing table is
+// on the row engine, which has no sketches).
+func attrTriageState(db *table.Database, cache *stats.Cache, rel, attr string) (int, *sketch.BottomK, error) {
+	var distinct int
+	var err error
+	if cache != nil {
+		distinct, err = cache.DistinctCount(rel, []string{attr})
+	} else {
+		distinct, err = db.MustTable(rel).DistinctCount([]string{attr})
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	var ts *table.TableSketches
+	if cache != nil {
+		ts, err = cache.Sketches(rel)
+		if err != nil {
+			return 0, nil, err
+		}
+	} else {
+		ts = db.MustTable(rel).EnableSketches(sketch.Config{})
+	}
+	if ts == nil {
+		return distinct, nil, nil
+	}
+	col := ts.Column(attr)
+	if col == nil {
+		return distinct, nil, nil
+	}
+	return distinct, col.Sig, nil
 }
 
 func subset(a, b map[string]struct{}) bool {

@@ -91,6 +91,17 @@ const (
 	CtrJobsRunning
 	CtrJobsDone
 	CtrQuestionsAsked
+	// The sketch-* counters observe the approximate triage tier
+	// (internal/sketch). CtrSketchPrunes counts candidates the sketch
+	// tier rejected with certainty, skipping the exact kernel;
+	// CtrSketchEscalations counts candidates it had to escalate to the
+	// exact kernels; CtrSketchBuild counts column-sketch build and
+	// incremental catch-up passes (one per column advanced plus one per
+	// row-sample advance). prunes/(prunes+escalations) is the per-run
+	// triage ratio.
+	CtrSketchPrunes
+	CtrSketchEscalations
+	CtrSketchBuild
 
 	numCounters
 )
@@ -119,6 +130,9 @@ var counterNames = [numCounters]string{
 	"serve-jobs-running",
 	"serve-jobs-done",
 	"serve-questions-asked",
+	"sketch-prunes",
+	"sketch-escalations",
+	"sketch-build",
 }
 
 // String returns the counter's stable exported name.

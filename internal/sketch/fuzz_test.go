@@ -1,0 +1,69 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"dbre/internal/value"
+)
+
+// FuzzSketchEstimate pins the tier's two advertised guarantees on
+// arbitrary inputs: (1) the HyperLogLog estimate stays inside its
+// advertised error envelope of the exact distinct count, and (2) the
+// refutation witnesses are sound — a signature pair whose underlying
+// value sets are in a containment relation is never refuted, and
+// DisjointSets never fires on intersecting sets. Guarantee (2) is the
+// one bit-identical discovery results rest on.
+func FuzzSketchEstimate(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(12), uint8(16))
+	f.Add([]byte("hello world, distinct values here"), uint8(4), uint8(1))
+	f.Add(make([]byte, 4096), uint8(18), uint8(255))
+	f.Fuzz(func(t *testing.T, data []byte, prec, k uint8) {
+		cfg := Config{Precision: int(prec), SignatureK: int(k)}.WithDefaults()
+
+		// Derive a value stream from the fuzz bytes: overlapping 4-byte
+		// windows as ints, giving collisions-by-construction so the
+		// distinct count differs from the stream length.
+		h := NewHLL(cfg.Precision)
+		subSig := NewBottomK(cfg.SignatureK)  // values at even offsets
+		supSig := NewBottomK(cfg.SignatureK)  // all values
+		disjSig := NewBottomK(cfg.SignatureK) // shifted, disjoint stream
+		exact := make(map[uint64]bool)
+		shared := false
+		for i := 0; i+4 <= len(data); i++ {
+			v := value.NewInt(int64(binary.LittleEndian.Uint32(data[i:])))
+			hv := HashValue(v)
+			h.Add(hv)
+			exact[hv] = true
+			supSig.Add(hv)
+			if i%2 == 0 {
+				subSig.Add(hv)
+			}
+			d := value.NewInt(int64(binary.LittleEndian.Uint32(data[i:])) + (1 << 40))
+			disjSig.Add(HashValue(d))
+			if int64(binary.LittleEndian.Uint32(data[i:])) >= 1<<40 {
+				shared = true // streams could actually intersect
+			}
+		}
+
+		n := float64(len(exact))
+		if diff := h.Estimate() - n; diff > h.ErrorBound(n) || -diff > h.ErrorBound(n) {
+			t.Fatalf("estimate %v outside bound %v of exact %v", h.Estimate(), h.ErrorBound(n), n)
+		}
+
+		// Soundness: the even-offset subset is truly contained in the
+		// full set; refuting it would corrupt accepted results.
+		if RefuteContainment(subSig, supSig) {
+			t.Fatal("refuted a true containment")
+		}
+		if RefuteContainment(supSig, supSig) {
+			t.Fatal("refuted self-containment")
+		}
+		if est, _, exactEst := EstimateContainment(subSig, supSig); exactEst && est != 1 && subSig.Len() > 0 {
+			t.Fatalf("exact containment estimate %v for a true subset", est)
+		}
+		if !shared && len(exact) > 0 && DisjointSets(supSig, supSig) {
+			t.Fatal("DisjointSets fired on identical non-empty sets")
+		}
+	})
+}

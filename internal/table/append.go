@@ -219,7 +219,15 @@ func (a *Appender) AppendBatch(b *ChunkEncoder, strict bool) (violations int, er
 	}
 	t.nrows += b.n
 	t.version += uint64(b.n)
-	return a.checkAppended(base, strict)
+	violations, err = a.checkAppended(base, strict)
+	// Sketch maintenance rides the batch: one catch-up pass over the new
+	// dictionary entries and rows. Runs after the constraint post-pass so
+	// a strict-mode rollback is observed as a shrink (rebuild), keeping
+	// the sketches a pure function of the surviving extension.
+	if s := t.sketches.Load(); s != nil {
+		s.CatchUp()
+	}
+	return violations, err
 }
 
 // appendRows is the row-engine fallback: the reference per-row path.

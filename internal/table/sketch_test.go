@@ -1,0 +1,155 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+
+	"dbre/internal/relation"
+	"dbre/internal/sketch"
+	"dbre/internal/value"
+)
+
+func sketchTestSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema("S", []relation.Attribute{
+		{Name: "id", Type: value.KindInt},
+		{Name: "name", Type: value.KindString},
+	}, relation.NewAttrSet("id"))
+}
+
+// sketchSig reads the signature of attr after catch-up.
+func sketchSig(t *testing.T, tab *Table, attr string) *sketch.BottomK {
+	t.Helper()
+	s := tab.Sketches()
+	if s == nil {
+		t.Fatal("sketches not enabled")
+	}
+	col := s.Column(attr)
+	if col == nil {
+		t.Fatalf("no sketch column for %q", attr)
+	}
+	return col.Sig
+}
+
+func TestSketchesRideAppender(t *testing.T) {
+	schema := sketchTestSchema(t)
+
+	// One table maintained incrementally through batch appends...
+	inc := New(schema)
+	if inc.EnableSketches(sketch.Config{}) == nil {
+		t.Fatal("EnableSketches returned nil on columnar engine")
+	}
+	a := inc.NewAppender()
+	for chunk := 0; chunk < 4; chunk++ {
+		enc := NewChunkEncoder(inc)
+		for i := 0; i < 250; i++ {
+			id := chunk*250 + i
+			if err := enc.AppendRow(Row{value.NewInt(int64(id)), value.NewString(fmt.Sprintf("n%d", id%100))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := a.AppendBatch(enc, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// ...must equal one built from scratch over the final extension.
+	ref := New(schema)
+	ref.EnableSketches(sketch.Config{})
+	for i := 0; i < 1000; i++ {
+		if err := ref.Insert(Row{value.NewInt(int64(i)), value.NewString(fmt.Sprintf("n%d", i%100))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, attr := range []string{"id", "name"} {
+		got, want := sketchSig(t, inc, attr), sketchSig(t, ref, attr)
+		if fmt.Sprint(got.Hashes()) != fmt.Sprint(want.Hashes()) {
+			t.Fatalf("%s: incremental signature diverges from scratch build", attr)
+		}
+		gc, wc := inc.Sketches().Column(attr), ref.Sketches().Column(attr)
+		if gc.Distinct != wc.Distinct || gc.HLL.Count() != wc.HLL.Count() {
+			t.Fatalf("%s: distinct=%d/%d hll=%d/%d", attr, gc.Distinct, wc.Distinct, gc.HLL.Count(), wc.HLL.Count())
+		}
+	}
+	gs, ws := inc.Sketches().SampleRows(), ref.Sketches().SampleRows()
+	if fmt.Sprint(gs) != fmt.Sprint(ws) {
+		t.Fatal("incremental row sample diverges from scratch build")
+	}
+	if inc.Sketches().Builds() == 0 {
+		t.Fatal("no build passes recorded")
+	}
+}
+
+func TestSketchesRebuildOnStrictRollback(t *testing.T) {
+	schema := sketchTestSchema(t)
+	tab := New(schema)
+	tab.EnableSketches(sketch.Config{})
+	for i := 0; i < 50; i++ {
+		if err := tab.Insert(Row{value.NewInt(int64(i)), value.NewString("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Consume the current state so the watermark is past the entries the
+	// failed batch will roll back.
+	sketchSig(t, tab, "id")
+
+	a := tab.NewAppender()
+	enc := NewChunkEncoder(tab)
+	for _, r := range []Row{
+		{value.NewInt(1000), value.NewString("y")}, // survives the rollback
+		{value.NewInt(1000), value.NewString("z")}, // UNIQUE violation
+	} {
+		if err := enc.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.AppendBatch(enc, true); err == nil {
+		t.Fatal("expected strict-mode batch error")
+	}
+
+	// Rollback keeps the batch rows preceding the failure, so the
+	// surviving extension is 0..49 plus (1000, "y"). The sketches must
+	// describe exactly that — no residue from the rolled-back row.
+	ref := New(schema)
+	ref.EnableSketches(sketch.Config{})
+	for i := 0; i < 50; i++ {
+		if err := ref.Insert(Row{value.NewInt(int64(i)), value.NewString("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Insert(Row{value.NewInt(1000), value.NewString("y")}); err != nil {
+		t.Fatal(err)
+	}
+	for _, attr := range []string{"id", "name"} {
+		got := fmt.Sprint(sketchSig(t, tab, attr).Hashes())
+		want := fmt.Sprint(sketchSig(t, ref, attr).Hashes())
+		if got != want {
+			t.Fatalf("%s: rollback left sketch residue:\ngot  %s\nwant %s", attr, got, want)
+		}
+	}
+	if s := sketchSig(t, tab, "name"); s.Contains(sketch.HashValue(value.NewString("z"))) {
+		t.Fatal("rolled-back value still in signature")
+	}
+}
+
+func TestSketchesNilOnRowEngine(t *testing.T) {
+	tab := NewWithEngine(sketchTestSchema(t), EngineRow)
+	if tab.EnableSketches(sketch.Config{}) != nil || tab.Sketches() != nil {
+		t.Fatal("row engine must report no sketches (exact-only)")
+	}
+}
+
+func TestSketchesConcurrentEnable(t *testing.T) {
+	tab := New(sketchTestSchema(t))
+	results := make(chan *TableSketches, 8)
+	for i := 0; i < 8; i++ {
+		go func() { results <- tab.EnableSketches(sketch.Config{}) }()
+	}
+	first := <-results
+	for i := 1; i < 8; i++ {
+		if s := <-results; s != first {
+			t.Fatal("concurrent EnableSketches returned distinct sketch sets")
+		}
+	}
+}

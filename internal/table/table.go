@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"dbre/internal/relation"
 	"dbre/internal/value"
@@ -69,6 +70,10 @@ type Table struct {
 	// invalidation hook. ReplaceRelation installs a fresh *Table, so a
 	// changed pointer equally signals staleness.
 	version uint64
+	// sketches holds the lazily enabled incremental sketch set (see
+	// sketch.go); atomic because concurrent readers may race to enable
+	// it. nil until EnableSketches, and always nil on the row engine.
+	sketches atomic.Pointer[TableSketches]
 }
 
 // New creates an empty table for the given schema on the default

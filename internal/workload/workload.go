@@ -55,6 +55,27 @@ type Spec struct {
 	// identical either way; the differential harness uses this to prove
 	// the two engines agree on every pipeline.
 	RowEngine bool
+	// NearMissAttrs adds per-fact int attributes ("f<i>_nm<j>") drawn
+	// from one range shared by every fact, salted with rare per-attribute
+	// sentinel values at rate NearMissNoise: the columns are near-equal
+	// sets differing only in a handful of values, so cross-fact
+	// containment candidates are adversarial near-miss INDs — exact
+	// counting must reject them, and sketch signatures usually cannot
+	// (the sentinel witness is rarely retained), forcing escalations at
+	// scale. The shared range is disjoint from every key, foreign-key and
+	// far-miss range, so no true INDs are added against existing columns.
+	NearMissAttrs int
+	// NearMissNoise is the per-row probability that a near-miss attribute
+	// takes one of its two private sentinel values (0 disables the salt,
+	// making the columns genuinely equal sets).
+	NearMissNoise float64
+	// FarMissAttrs adds per-fact int attributes ("f<i>_fm<j>") drawn from
+	// per-attribute disjoint ranges: every candidate pairing one of them
+	// (in either direction, or against keys and near-miss columns) is a
+	// far-below-threshold non-IND that complete-signature refutation
+	// prunes with certainty — the pruning mass of the sketch-tier
+	// benchmarks, quadratic in the attribute count.
+	FarMissAttrs int
 }
 
 // DefaultSpec returns a medium-sized workload.
@@ -241,6 +262,12 @@ func Generate(spec Spec) (*Workload, error) {
 				}
 			}
 		}
+		for j := 0; j < spec.NearMissAttrs; j++ {
+			attrs = append(attrs, relation.Attribute{Name: fmt.Sprintf("f%d_nm%d", f, j), Type: value.KindInt})
+		}
+		for j := 0; j < spec.FarMissAttrs; j++ {
+			attrs = append(attrs, relation.Attribute{Name: fmt.Sprintf("f%d_fm%d", f, j), Type: value.KindInt})
+		}
 		schemas = append(schemas, relation.MustSchema(name, attrs,
 			relation.NewAttrSet(fmt.Sprintf("f%d_id", f))))
 	}
@@ -319,6 +346,27 @@ func Generate(spec Spec) (*Workload, error) {
 					src := dimRows[di][int(fkVal-1)%spec.DimensionRows]
 					row = append(row, src[len(l.FKs):]...)
 				}
+			}
+			// Adversarial sketch-tier columns; value-range layout (all
+			// disjoint from the small key/fk/attr integers):
+			//   far-miss  g: [1e6 + g*1e4, 1e6 + g*1e4 + span)  per-attr
+			//   near-miss:   [4e6, 4e6 + span)                  shared
+			//   sentinels g: {4e6 + span + 2g, 4e6 + span + 2g + 1}
+			span := spec.DimensionRows
+			if span < 2 {
+				span = 2
+			}
+			for j := 0; j < spec.NearMissAttrs; j++ {
+				v := int64(4_000_000 + rng.Intn(span))
+				if spec.NearMissNoise > 0 && rng.Float64() < spec.NearMissNoise {
+					g := f*spec.NearMissAttrs + j
+					v = int64(4_000_000 + span + 2*g + rng.Intn(2))
+				}
+				row = append(row, value.NewInt(v))
+			}
+			for j := 0; j < spec.FarMissAttrs; j++ {
+				g := f*spec.FarMissAttrs + j
+				row = append(row, value.NewInt(int64(1_000_000+g*10_000+rng.Intn(span))))
 			}
 			tab.MustInsert(row)
 		}

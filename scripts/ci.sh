@@ -2,7 +2,7 @@
 # CI entry point: formatting and vet gates, a documentation link check,
 # build, race-enabled tests (which include the differential equivalence
 # harness and the obs/stats/table allocation regressions), and a short
-# fuzz smoke of the four input-facing fuzz targets. Run from the repository
+# fuzz smoke of the five fuzz targets (parsers, loaders, sketches). Run from the repository
 # root; the GitHub Actions workflow (.github/workflows/ci.yml) invokes
 # exactly this script so local runs reproduce CI bit for bit.
 set -euo pipefail
@@ -39,7 +39,7 @@ go test -race -count=1 -run 'TestServeSmoke' ./cmd/dbre
 echo "==> allocation regressions (explicit, without -race instrumentation)"
 go test -run 'TestAlloc' ./internal/stats ./internal/obs ./internal/table
 
-echo "==> perf gate: B12/B13 vs checked-in baselines"
+echo "==> perf gate: B9/B12/B13/B14 vs checked-in baselines"
 ./scripts/perfgate.sh
 
 echo "==> fuzz smoke: FuzzLoadSQL (${FUZZTIME})"
@@ -53,5 +53,8 @@ go test -run=^$ -fuzz='^FuzzCSVLoad$' -fuzztime="${FUZZTIME}" ./internal/csvio
 
 echo "==> fuzz smoke: FuzzJobRequest (${FUZZTIME})"
 go test -run=^$ -fuzz='^FuzzJobRequest$' -fuzztime="${FUZZTIME}" ./internal/serve
+
+echo "==> fuzz smoke: FuzzSketchEstimate (${FUZZTIME})"
+go test -run=^$ -fuzz='^FuzzSketchEstimate$' -fuzztime="${FUZZTIME}" ./internal/sketch
 
 echo "==> ci.sh: all green"
