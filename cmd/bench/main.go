@@ -1,10 +1,10 @@
 // Command bench regenerates every experiment of EXPERIMENTS.md: the
 // exact-reproduction artifacts E1–E7 (the paper's worked example, checked
-// against the expected sets) and the quantitative tables B1–B14
+// against the expected sets) and the quantitative tables B1–B15
 // (query-guided vs exhaustive discovery, scalability, corruption sweeps,
 // the statistics cache, the columnar storage engine and its refinement
-// kernels, parallel batched ingest, and the sketch-based approximate
-// discovery tier).
+// kernels, parallel batched ingest, the sketch-based approximate
+// discovery tier, and snapshot persistence vs cold re-ingest).
 //
 // Usage:
 //
@@ -23,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -40,6 +41,7 @@ import (
 	"dbre/internal/relation"
 	"dbre/internal/sketch"
 	"dbre/internal/stats"
+	"dbre/internal/storage"
 	"dbre/internal/table"
 	"dbre/internal/value"
 	"dbre/internal/workload"
@@ -93,6 +95,7 @@ func registry() []experiment {
 		{"B12", "refinement kernel overhaul: dense remapping, prefix reuse, pooled scratch", runB12},
 		{"B13", "parallel batched ingest: chunked loaders, columnar appender, dictionary merge", runB13},
 		{"B14", "sketch triage tier: certain pruning vs exact-only discovery on near-miss INDs", runB14},
+		{"B15", "persistence: cold CSV re-ingest vs warm snapshot boot and lazy column loading", runB15},
 		{"A1", "ablation: transitive equality closure on/off", runA1},
 		{"A2", "ablation: auto-expert inclusion slack sweep on dirty data", runA2},
 		{"A3", "ablation: key inference on keyless dictionaries", runA3},
@@ -1513,5 +1516,116 @@ func runB14(w io.Writer) error {
 	record("rhs_exact_ms", float64(rhsExWall.Microseconds())/1000)
 	record("rhs_sketch_ms", float64(rhsSkWall.Microseconds())/1000)
 	record("rhs_sketch_pruned", float64(rhsPruned))
+	return nil
+}
+
+// runB15 measures disk persistence against cold re-ingest: the B13
+// extension (100k fact tuples, 2% corruption) is loaded once, snapshotted
+// (docs/storage-format.md), and then the two boot paths race over a
+// median of 5 — cold CSV re-ingest through the 8-worker parallel loader
+// vs warm storage.Open with full preload. The restored engine state must
+// be bit-identical to the ingested one, and the warm boot must beat cold
+// re-ingest by at least 5x (enforced here; the wall times are also gated
+// by scripts/perfgate.sh against BENCH_B15.json). The lazy-open figure is
+// the job server's warm start: footer + metadata only, every column
+// section left on disk until a discovery kernel touches it.
+func runB15(w io.Writer) error {
+	spec := workload.DefaultSpec(42)
+	spec.FactRows = 25000 // 4 fact relations ⇒ 100k fact tuples
+	spec.Corruption = 0.02
+	wl := mustWorkload(spec)
+	dir, err := os.MkdirTemp("", "dbre-b15-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	csvDir := filepath.Join(dir, "csv")
+	snapDir := filepath.Join(dir, "snap")
+	if err := csvio.StoreDirCtx(context.Background(), wl.DB, csvDir, csvio.Options{Parallelism: 8}); err != nil {
+		return err
+	}
+
+	// The reference ingest both boot paths must reproduce exactly.
+	ref := table.NewDatabase(wl.DB.Catalog().Clone())
+	viol, err := csvio.LoadDirCtx(context.Background(), ref, csvDir, false, csvio.Options{Parallelism: 8})
+	if err != nil {
+		return err
+	}
+	if err := storage.Snapshot(ref, snapDir); err != nil {
+		return err
+	}
+	snapStat, err := os.Stat(filepath.Join(snapDir, "snapshot.dbre"))
+	if err != nil {
+		return err
+	}
+
+	coldWalls := make([]time.Duration, 0, 5)
+	var coldDB *table.Database
+	for i := 0; i < cap(coldWalls); i++ {
+		coldDB = table.NewDatabase(wl.DB.Catalog().Clone())
+		runtime.GC()
+		start := time.Now()
+		if _, err := csvio.LoadDirCtx(context.Background(), coldDB, csvDir, false, csvio.Options{Parallelism: 8}); err != nil {
+			return err
+		}
+		coldWalls = append(coldWalls, time.Since(start))
+	}
+	coldWall, _ := medianSpread(coldWalls)
+
+	warmWalls := make([]time.Duration, 0, 5)
+	var warmDB *table.Database
+	for i := 0; i < cap(warmWalls); i++ {
+		runtime.GC()
+		start := time.Now()
+		db, info, err := storage.OpenCtx(context.Background(), snapDir, storage.Options{Preload: true})
+		if err != nil {
+			return err
+		}
+		warmWalls = append(warmWalls, time.Since(start))
+		if err := info.Close(); err != nil {
+			return err
+		}
+		warmDB = db
+	}
+	warmWall, _ := medianSpread(warmWalls)
+
+	// Lazy open: the footer, catalog and per-relation metadata only.
+	lazyWalls := make([]time.Duration, 0, 5)
+	lazyCols := 0
+	for i := 0; i < cap(lazyWalls); i++ {
+		runtime.GC()
+		start := time.Now()
+		_, info, err := storage.Open(snapDir)
+		if err != nil {
+			return err
+		}
+		lazyWalls = append(lazyWalls, time.Since(start))
+		lazyCols = info.LazyColumns
+		if err := info.Close(); err != nil {
+			return err
+		}
+	}
+	lazyWall, _ := medianSpread(lazyWalls)
+
+	if err := dbStateEqual(ref, warmDB); err != nil {
+		return fmt.Errorf("B15: warm boot diverged from the ingested state: %w", err)
+	}
+	speedup := float64(coldWall) / float64(warmWall)
+	printTable(w, []string{"boot path", "wall (median of 5)", "state"}, [][]string{
+		{"cold CSV re-ingest (8 workers)", coldWall.Round(time.Microsecond).String(), fmt.Sprintf("%d violations re-derived", viol)},
+		{"warm snapshot boot (preload)", warmWall.Round(time.Microsecond).String(), "bit-identical, violations persisted"},
+		{"lazy snapshot open (metadata)", lazyWall.Round(time.Microsecond).String(), fmt.Sprintf("%d column sections on disk", lazyCols)},
+	})
+	fmt.Fprintf(w, "  warm boot %.1fx faster than cold re-ingest (target ≥ 5x); snapshot %d bytes, CRC-verified on open\n",
+		speedup, snapStat.Size())
+	if speedup < 5 {
+		return fmt.Errorf("B15: warm boot speedup %.2fx below the 5x target", speedup)
+	}
+	record("cold_reingest_ms", float64(coldWall.Microseconds())/1000)
+	record("warm_boot_ms", float64(warmWall.Microseconds())/1000)
+	record("lazy_open_us", float64(lazyWall.Microseconds()))
+	record("warm_speedup", speedup)
+	record("snapshot_bytes", float64(snapStat.Size()))
+	record("lazy_columns", float64(lazyCols))
 	return nil
 }

@@ -12,6 +12,9 @@
 //	     [-sketch] [-sketch-precision p] [-sketch-k k]
 //	     [-trace out.json] [-debug-addr localhost:6060]
 //
+//	dbre -schema legacy.sql -data dir -snapshot snapdir
+//	dbre -from-snapshot snapdir [-programs dir] [...]
+//
 //	dbre -serve :8080 [-serve-workers n] [-job-ttl 1h]
 //	     [-max-job-bytes n] [-datasets dir] [-auto-answer 30s]
 //
@@ -25,6 +28,14 @@
 // sketch-prunes / sketch-escalations / sketch-build counters in the
 // trace show the triage ratio. -sketch-precision and -sketch-k tune the
 // HyperLogLog precision and signature size (0 = defaults).
+//
+// -snapshot ingests the schema and extension, persists the loaded engine
+// to a checksummed binary snapshot directory (format in
+// docs/storage-format.md) and exits without running the pipeline;
+// -from-snapshot replaces -schema/-data and boots warm from such a
+// directory, replaying any write-ahead log a crashed run left behind.
+// Columns load lazily, so discovery phases touch only the sections they
+// read.
 //
 // -serve starts the discovery job server instead of a one-shot run:
 // databases and program sets are submitted as asynchronous jobs over
@@ -121,6 +132,8 @@ func run(args []string, out io.Writer) error {
 	sketchK := fs.Int("sketch-k", 0, "sketch tier: bottom-k signature size per column (0 = default 256)")
 	slack := fs.Float64("slack", 0.98, "auto expert: near-inclusion forcing threshold")
 	tolerate := fs.Float64("tolerate", 0, "auto expert: max FD violation rate still enforced")
+	snapDir := fs.String("snapshot", "", "persist the ingested database to this snapshot directory and exit (no pipeline)")
+	fromSnap := fs.String("from-snapshot", "", "boot warm from a snapshot directory instead of -schema/-data")
 	tracePath := fs.String("trace", "", "write a JSON execution trace (spans + counters) to this file")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	serveAddr := fs.String("serve", "", "run the discovery job server on this address (e.g. :8080) instead of a one-shot pipeline")
@@ -141,9 +154,12 @@ func run(args []string, out io.Writer) error {
 			AutoAnswerAfter: *autoAnswer,
 		}, out)
 	}
-	if *schema == "" {
+	if *schema == "" && *fromSnap == "" {
 		fs.Usage()
-		return fmt.Errorf("-schema is required")
+		return fmt.Errorf("-schema or -from-snapshot is required")
+	}
+	if *fromSnap != "" && (*schema != "" || *data != "") {
+		return fmt.Errorf("-from-snapshot replaces -schema and -data")
 	}
 
 	ctx := context.Background()
@@ -165,22 +181,52 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "debug server on http://%s/debug/vars and /debug/pprof/\n", ln.Addr())
 	}
 
-	db, err := dbre.LoadSQLFile(*schema)
-	if err != nil {
-		return err
-	}
-	if *sketchOn {
-		// Before the CSV load, so the sketches ride the batch appends.
-		dbre.EnableSketches(db, *sketchPrecision, *sketchK)
-	}
-	if *data != "" {
-		violations, err := dbre.LoadCSVDirCtx(ctx, db, *data, *parallel)
+	var db *dbre.Database
+	if *fromSnap != "" {
+		warm, info, err := dbre.OpenSnapshotContext(ctx, *fromSnap, dbre.SnapshotOptions{})
 		if err != nil {
 			return err
 		}
-		if violations > 0 {
-			fmt.Fprintf(out, "note: %d constraint violations tolerated while loading\n", violations)
+		defer info.Close()
+		fmt.Fprintf(out, "warm start from %s: %d relations, %d rows, %d columns lazy\n",
+			*fromSnap, info.Relations, info.Rows, info.LazyColumns)
+		if info.WAL != nil && info.WAL.Records > 0 {
+			fmt.Fprintf(out, "note: replayed %d WAL records (%d rows) left by an interrupted run\n",
+				info.WAL.Records, info.WAL.Rows)
 		}
+		if *sketchOn {
+			// No-op on relations whose sketches the snapshot restored.
+			dbre.EnableSketches(warm, *sketchPrecision, *sketchK)
+		}
+		db = warm
+	} else {
+		loaded, err := dbre.LoadSQLFile(*schema)
+		if err != nil {
+			return err
+		}
+		db = loaded
+		if *sketchOn {
+			// Before the CSV load, so the sketches ride the batch appends.
+			dbre.EnableSketches(db, *sketchPrecision, *sketchK)
+		}
+		if *data != "" {
+			violations, err := dbre.LoadCSVDirCtx(ctx, db, *data, *parallel)
+			if err != nil {
+				return err
+			}
+			if violations > 0 {
+				fmt.Fprintf(out, "note: %d constraint violations tolerated while loading\n", violations)
+			}
+		}
+	}
+	if *snapDir != "" {
+		if err := dbre.SnapshotContext(ctx, db, *snapDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "snapshot written to %s (%d relations, %d rows)\n",
+			*snapDir, db.Catalog().Len(), db.TotalRows())
+		tracer.Finish()
+		return writeTrace(*tracePath, tracer, out)
 	}
 
 	var oracle dbre.Oracle
@@ -221,6 +267,7 @@ func run(args []string, out io.Writer) error {
 		report.Scan = *scan
 	} else {
 		fmt.Fprintln(out, "note: no -programs directory; Q is empty and only K/N are usable")
+		var err error
 		report, err = dbre.ReverseContext(ctx, db, nil, opts)
 		if err != nil {
 			return err
@@ -260,19 +307,26 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "restructured schema written to %s\n", *outSchema)
 	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			return err
-		}
-		if err := tracer.WriteJSON(f); err != nil {
-			f.Close()
-			return fmt.Errorf("writing trace: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "trace written to %s\n", *tracePath)
+	return writeTrace(*tracePath, tracer, out)
+}
+
+// writeTrace writes the finished tracer as versioned JSON, if a path was
+// requested.
+func writeTrace(path string, tracer *dbre.Tracer, out io.Writer) error {
+	if path == "" {
+		return nil
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace written to %s\n", path)
 	return nil
 }

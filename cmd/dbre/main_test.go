@@ -141,6 +141,89 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestSnapshotFlags exercises the persistence path end to end: ingest
+// and persist with -snapshot (no pipeline), then boot warm with
+// -from-snapshot and check the pipeline output matches a cold run on the
+// same extension.
+func TestSnapshotFlags(t *testing.T) {
+	dir := fixtureDir(t)
+	snap := filepath.Join(dir, "snap")
+
+	var save strings.Builder
+	err := run([]string{
+		"-schema", filepath.Join(dir, "schema.sql"),
+		"-data", filepath.Join(dir, "data"),
+		"-snapshot", snap,
+	}, &save)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(save.String(), "snapshot written to "+snap) {
+		t.Errorf("snapshot not announced:\n%s", save.String())
+	}
+	if strings.Contains(save.String(), "Inclusion dependencies") {
+		t.Error("-snapshot ran the pipeline; it must ingest, persist and exit")
+	}
+	if _, err := os.Stat(filepath.Join(snap, "snapshot.dbre")); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+
+	var warm, cold strings.Builder
+	if err := run([]string{
+		"-from-snapshot", snap,
+		"-programs", filepath.Join(dir, "programs"),
+	}, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{
+		"-schema", filepath.Join(dir, "schema.sql"),
+		"-data", filepath.Join(dir, "data"),
+		"-programs", filepath.Join(dir, "programs"),
+	}, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "warm start from "+snap) {
+		t.Errorf("warm start not announced:\n%s", warm.String())
+	}
+	// Same discovery output either way: compare everything between the
+	// load/boot preamble (first line differs by design) and the Timings
+	// section (wall-clock, nondeterministic).
+	trim := func(s string) string {
+		if i := strings.Index(s, "programs:"); i >= 0 {
+			s = s[i:]
+		}
+		if i := strings.Index(s, "\nTimings\n"); i >= 0 {
+			s = s[:i]
+		}
+		return s
+	}
+	if trim(warm.String()) != trim(cold.String()) {
+		t.Errorf("warm-start report diverges from cold run:\nwarm:\n%s\ncold:\n%s", warm.String(), cold.String())
+	}
+	// The expert dialogue (after the Timings block) must match too.
+	tail := func(s string) string {
+		if i := strings.Index(s, "Expert decisions"); i >= 0 {
+			return s[i:]
+		}
+		return ""
+	}
+	if tail(warm.String()) == "" || tail(warm.String()) != tail(cold.String()) {
+		t.Errorf("expert logs diverge:\nwarm:\n%s\ncold:\n%s", tail(warm.String()), tail(cold.String()))
+	}
+
+	// Flag combinations that must be rejected.
+	var out strings.Builder
+	if err := run([]string{"-from-snapshot", snap, "-schema", "x.sql"}, &out); err == nil {
+		t.Error("-from-snapshot with -schema accepted")
+	}
+	if err := run([]string{"-from-snapshot", snap, "-data", "d"}, &out); err == nil {
+		t.Error("-from-snapshot with -data accepted")
+	}
+	if err := run([]string{"-from-snapshot", filepath.Join(dir, "nosuch")}, &out); err == nil {
+		t.Error("missing snapshot dir accepted")
+	}
+}
+
 // TestTraceFlag runs the full pipeline with -trace and validates the
 // emitted JSON: current schema version, a root span covering every
 // pipeline phase, and non-zero counters — plus the "Trace" section of the

@@ -30,6 +30,20 @@
 // The expert user of the paper is the Oracle interface: AutoExpert for
 // unattended runs, InteractiveExpert for a terminal session, or any custom
 // implementation.
+//
+// Around the one-shot pipeline the package exposes the rest of the
+// toolkit. LoadCSVDirCtx ingests extensions with parallel batched
+// loading (state identical to serial at any setting). EnableSketches
+// maintains the approximate triage tier's per-column sketches during
+// ingest, and Options.Sketch puts the tier in front of the exact
+// discovery kernels without changing any result. NewServer runs
+// discovery as a service: asynchronous jobs over an HTTP/JSON API with
+// the expert dialogue escalated to API questions. Snapshot and
+// OpenSnapshot persist the columnar engine to a checksummed binary
+// snapshot plus a write-ahead log (docs/storage-format.md), so
+// restarted sessions boot warm and crashed journaled ingests recover
+// by replay. WithTracer threads observability — hierarchical spans and
+// typed counters — through any of the above.
 package dbre
 
 import (
@@ -50,6 +64,7 @@ import (
 	"dbre/internal/serve"
 	"dbre/internal/sketch"
 	"dbre/internal/sql/exec"
+	"dbre/internal/storage"
 	"dbre/internal/table"
 )
 
@@ -101,6 +116,13 @@ type (
 	JobSpec = serve.JobSpec
 	// JobStatus is the JSON status view of a submitted job.
 	JobStatus = serve.JobStatus
+	// SnapshotInfo describes an opened snapshot (relations, rows, lazy
+	// columns, WAL replay stats) and owns the open file handle backing
+	// lazy column loads; Close it when the database is done. See
+	// OpenSnapshot.
+	SnapshotInfo = storage.OpenInfo
+	// SnapshotOptions configures OpenSnapshotContext (eager preload).
+	SnapshotOptions = storage.Options
 )
 
 // NewServer starts a discovery job server: its worker pool and TTL
@@ -188,6 +210,43 @@ func EnableSketches(db *Database, precision, signatureK int) {
 	for _, name := range db.Catalog().Names() {
 		db.MustTable(name).EnableSketches(cfg)
 	}
+}
+
+// Snapshot persists the database's entire columnar engine state to dir
+// as a checksummed binary snapshot (format: docs/storage-format.md) and
+// resets the directory's write-ahead log, so a later OpenSnapshot boots
+// warm — bit-identical to the live engine — instead of re-ingesting.
+// The write is atomic: a crash mid-snapshot leaves the previous snapshot
+// (or none) intact. Row-engine databases cannot be snapshotted.
+func Snapshot(db *Database, dir string) error {
+	return storage.Snapshot(db, dir)
+}
+
+// SnapshotContext is Snapshot with observability threaded through the
+// context: a tracer installed with WithTracer records the "snapshot"
+// span and the snapshot-sections counter.
+func SnapshotContext(ctx context.Context, db *Database, dir string) error {
+	return storage.SnapshotCtx(ctx, db, dir)
+}
+
+// OpenSnapshot boots a database warm from a snapshot directory written
+// by Snapshot, verifying every section checksum up front and replaying
+// any write-ahead log bound to the snapshot (deltas appended after the
+// snapshot by a run that crashed or was restarted). Columns load lazily
+// on first touch through the returned info's file handle — keep info
+// open for the database's lifetime, or call info.Close after preloading.
+// Corruption surfaces as a typed *storage.CorruptError naming the
+// damaged section, never as silently divergent data.
+func OpenSnapshot(dir string) (*Database, *SnapshotInfo, error) {
+	return storage.Open(dir)
+}
+
+// OpenSnapshotContext is OpenSnapshot with options and observability:
+// opts.Preload loads every column eagerly and closes the file before
+// returning, and a tracer installed in ctx records the open-snapshot
+// span plus the wal-records-replayed / wal-rows-replayed counters.
+func OpenSnapshotContext(ctx context.Context, dir string, opts SnapshotOptions) (*Database, *SnapshotInfo, error) {
+	return storage.OpenCtx(ctx, dir, opts)
 }
 
 // StoreCSVDir writes every relation of the database to <relation>.csv

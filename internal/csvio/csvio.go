@@ -54,7 +54,26 @@ type Options struct {
 	// appends in the same pass instead of being rebuilt later. No-op on
 	// the row engine. Loaded data is identical either way.
 	Sketch bool
+	// Journal, when non-nil, receives every batch of parsed rows before
+	// the batch is applied to the table — the log-then-apply contract
+	// crash recovery needs: after a crash mid-ingest, replaying the
+	// journal reconverges on the applied state instead of re-parsing the
+	// input. storage.WAL implements it. Loaded data is identical with or
+	// without a journal.
+	Journal Journal
 }
+
+// Journal is the write-ahead hook of the loaders: LogBatch must durably
+// record the batch before returning, because the loader applies the rows
+// immediately after. Batch boundaries are an implementation detail —
+// replay convergence depends only on row order and the strict flag.
+type Journal interface {
+	LogBatch(rel string, rows []table.Row, strict bool) error
+}
+
+// journalBatchRows bounds how many parsed rows the serial loader buffers
+// between journal writes.
+const journalBatchRows = 1024
 
 // Load reads rows from r into tab. The first record must be a header whose
 // names are a permutation of (a subset of) the schema attributes; missing
@@ -74,7 +93,7 @@ func LoadCtx(ctx context.Context, tab *table.Table, r io.Reader, strict bool, op
 		tab.EnableSketches(sketch.Config{})
 	}
 	if opt.Parallelism <= 1 {
-		return loadSerial(ctx, tab, r, strict)
+		return loadSerial(ctx, tab, r, strict, opt.Journal)
 	}
 	return loadParallel(ctx, tab, r, strict, opt)
 }
@@ -99,7 +118,7 @@ func resolveHeader(tab *table.Table, header []string) (colIdx []int, kinds []val
 // parallel path falls back to it (over buffered bytes) whenever a chunk
 // fails to parse, which is what keeps the two paths byte-identical on
 // errors.
-func loadSerial(ctx context.Context, tab *table.Table, r io.Reader, strict bool) (violations int, err error) {
+func loadSerial(ctx context.Context, tab *table.Table, r io.Reader, strict bool, jn Journal) (violations int, err error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
@@ -117,11 +136,40 @@ func loadSerial(ctx context.Context, tab *table.Table, r io.Reader, strict bool)
 	for i := range memo {
 		memo[i] = make(map[string]value.Value)
 	}
+	// With a journal, parsed rows buffer here and are logged before they
+	// are applied; line numbers ride along so the apply pass reports
+	// errors exactly as the unjournaled path would.
+	var pend []table.Row
+	var pendLines []int
+	flush := func() error {
+		if len(pend) == 0 {
+			return nil
+		}
+		if err := jn.LogBatch(schema.Name, pend, strict); err != nil {
+			return fmt.Errorf("csvio: journaling relation %s: %w", schema.Name, err)
+		}
+		for i, row := range pend {
+			if err := tab.Insert(row); err != nil {
+				if strict {
+					return fmt.Errorf("csvio: relation %s line %d: %w", schema.Name, pendLines[i], err)
+				}
+				violations++
+				tab.InsertUnchecked(row)
+			}
+		}
+		pend, pendLines = pend[:0], pendLines[:0]
+		return nil
+	}
 	tr := obs.FromContext(ctx)
 	line := 1
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
+			if jn != nil {
+				if err := flush(); err != nil {
+					return violations, err
+				}
+			}
 			tr.Add(obs.CtrIngestViolations, int64(violations))
 			return violations, nil
 		}
@@ -150,6 +198,16 @@ func loadSerial(ctx context.Context, tab *table.Table, r io.Reader, strict bool)
 				}
 			}
 			row[colIdx[i]] = v
+		}
+		if jn != nil {
+			pend = append(pend, row)
+			pendLines = append(pendLines, line)
+			if len(pend) >= journalBatchRows {
+				if err := flush(); err != nil {
+					return violations, err
+				}
+			}
+			continue
 		}
 		if err := tab.Insert(row); err != nil {
 			if strict {
@@ -211,9 +269,10 @@ func loadParallel(ctx context.Context, tab *table.Table, r io.Reader, strict boo
 	for _, err := range errs {
 		if err != nil {
 			// A chunk failed to parse. The table is untouched (nothing
-			// was committed), so the serial loader over the buffered
-			// bytes reproduces the exact serial error and partial state.
-			return loadSerial(ctx, tab, bytes.NewReader(data), strict)
+			// was committed — and nothing journaled), so the serial
+			// loader over the buffered bytes reproduces the exact serial
+			// error and partial state.
+			return loadSerial(ctx, tab, bytes.NewReader(data), strict, opt.Journal)
 		}
 	}
 	// Commit in chunk order: the merged state is then independent of
@@ -225,6 +284,19 @@ func loadParallel(ctx context.Context, tab *table.Table, r io.Reader, strict boo
 	violations := 0
 	records := 0
 	for _, enc := range encs {
+		if jn := opt.Journal; jn != nil {
+			// Log-then-apply at chunk granularity: the journal record is
+			// durable before the batch mutates the table. On a strict
+			// abort the journal holds a superset of the applied rows;
+			// replay's own strict abort reconverges.
+			rows := make([]table.Row, enc.Len())
+			for i := range rows {
+				rows[i] = enc.DecodeRow(i, nil)
+			}
+			if err := jn.LogBatch(schema.Name, rows, strict); err != nil {
+				return violations, fmt.Errorf("csvio: journaling relation %s: %w", schema.Name, err)
+			}
+		}
 		v, err := ap.AppendBatch(enc, strict)
 		violations += v
 		if err != nil {

@@ -102,6 +102,14 @@ const (
 	CtrSketchPrunes
 	CtrSketchEscalations
 	CtrSketchBuild
+	// The snapshot-/wal-* counters observe the persistence layer
+	// (internal/storage). CtrSnapshotSections counts file sections
+	// written by Snapshot; CtrWALRecordsReplayed / CtrWALRowsReplayed
+	// count WAL batch records and the rows they carried re-applied
+	// during a recovering Open or an explicit ReplayWAL.
+	CtrSnapshotSections
+	CtrWALRecordsReplayed
+	CtrWALRowsReplayed
 
 	numCounters
 )
@@ -133,6 +141,9 @@ var counterNames = [numCounters]string{
 	"sketch-prunes",
 	"sketch-escalations",
 	"sketch-build",
+	"snapshot-sections",
+	"wal-records-replayed",
+	"wal-rows-replayed",
 }
 
 // String returns the counter's stable exported name.

@@ -13,6 +13,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -22,6 +24,7 @@ import (
 	"dbre/internal/expert"
 	"dbre/internal/obs"
 	"dbre/internal/sql/exec"
+	"dbre/internal/storage"
 )
 
 // e2eSchema is a two-relation workload whose single equi-join is a
@@ -213,6 +216,79 @@ func TestE2EHappyPath(t *testing.T) {
 	var list []JobStatus
 	if code := c.do("GET", "/jobs", nil, &list); code != http.StatusOK || len(list) != 1 || list[0].ID != st.ID {
 		t.Errorf("list: status %d, %+v", code, list)
+	}
+}
+
+// TestE2ESnapshotDataset boots a job warm from a snapshot-backed named
+// dataset and checks its report is byte-identical to the same job run
+// from the inline DDL — the snapshot replaces both schema_sql and the
+// CSV extension. Also pins the admission rules around snapshot datasets.
+func TestE2ESnapshotDataset(t *testing.T) {
+	root := t.TempDir()
+	db, errs := exec.LoadScript(e2eSchema)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	if err := storage.Snapshot(db, filepath.Join(root, "warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := startServer(t, Config{DatasetRoot: root})
+	c := &api{t: t, base: ts.URL}
+
+	warm := c.submit(JobSpec{
+		Dataset:  "warm",
+		Programs: map[string]string{"query.sql": e2eProgram},
+	})
+	cold := c.submit(JobSpec{
+		SchemaSQL: e2eSchema,
+		Programs:  map[string]string{"query.sql": e2eProgram},
+	})
+	if st := c.waitTerminal(warm.ID); st.State != StateDone {
+		t.Fatalf("warm job finished %s (%s), want done", st.State, st.Error)
+	}
+	if st := c.waitTerminal(cold.ID); st.State != StateDone {
+		t.Fatalf("cold job finished %s (%s), want done", st.State, st.Error)
+	}
+	codeW, repWarm := c.raw("/jobs/" + warm.ID + "/report")
+	codeC, repCold := c.raw("/jobs/" + cold.ID + "/report")
+	if codeW != http.StatusOK || codeC != http.StatusOK {
+		t.Fatalf("report statuses %d / %d", codeW, codeC)
+	}
+	// Every discovery artifact must be byte-identical; only the Trace
+	// section differs, by exactly the warm boot's open-snapshot span.
+	cut := func(s string) string {
+		if i := strings.Index(s, "\nTrace\n"); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	if cut(repWarm) != cut(repCold) {
+		t.Errorf("warm-boot report diverges from inline run:\nwarm:\n%s\ncold:\n%s", repWarm, repCold)
+	}
+	if !strings.Contains(repWarm, "open-snapshot") {
+		t.Error("warm run's trace lacks the open-snapshot span")
+	}
+	if strings.Contains(repCold, "open-snapshot") {
+		t.Error("cold run's trace has an open-snapshot span")
+	}
+
+	// A snapshot dataset carries its own schema: submitting schema_sql
+	// alongside it must fail the job with a clear message.
+	both := c.submit(JobSpec{
+		SchemaSQL: e2eSchema,
+		Dataset:   "warm",
+	})
+	if st := c.waitTerminal(both.ID); st.State != StateFailed || !strings.Contains(st.Error, "snapshot-backed") {
+		t.Errorf("schema_sql + snapshot dataset: %s (%q), want failed/snapshot-backed", st.State, st.Error)
+	}
+	// And a schema-less submission against a non-snapshot dataset fails.
+	if err := os.MkdirAll(filepath.Join(root, "csvonly"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	noSchema := c.submit(JobSpec{Dataset: "csvonly"})
+	if st := c.waitTerminal(noSchema.ID); st.State != StateFailed || !strings.Contains(st.Error, "schema_sql is required") {
+		t.Errorf("schema-less CSV dataset: %s (%q), want failed/schema_sql required", st.State, st.Error)
 	}
 }
 

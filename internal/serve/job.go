@@ -52,11 +52,14 @@ const (
 // oracle whose questions are answered over HTTP.
 type JobSpec struct {
 	// SchemaSQL is the DDL script (CREATE TABLE statements; INSERTs
-	// allowed), the only required field.
+	// allowed). Required unless Dataset names a snapshot-backed dataset,
+	// which carries its own catalog (and then SchemaSQL must be empty).
 	SchemaSQL string `json:"schema_sql"`
-	// Dataset names a directory of <relation>.csv files under the
-	// server's dataset root. The name is a single path element — path
-	// separators and dot-prefixed names are rejected at decode time.
+	// Dataset names a directory under the server's dataset root: either
+	// <relation>.csv files loaded against SchemaSQL, or a binary snapshot
+	// (written by dbre -snapshot) the job boots from warm. The name is a
+	// single path element — path separators and dot-prefixed names are
+	// rejected at decode time.
 	Dataset string `json:"dataset,omitempty"`
 	// CSV supplies the extension inline: relation name → CSV text.
 	// Mutually exclusive with Dataset.
@@ -128,8 +131,8 @@ func DecodeJobSpec(data []byte, lim Limits) (*JobSpec, error) {
 }
 
 func (s *JobSpec) validate(lim Limits) error {
-	if strings.TrimSpace(s.SchemaSQL) == "" {
-		return errors.New("schema_sql is required")
+	if strings.TrimSpace(s.SchemaSQL) == "" && s.Dataset == "" {
+		return errors.New("schema_sql is required (unless a named dataset supplies the schema)")
 	}
 	if s.Dataset != "" && len(s.CSV) > 0 {
 		return errors.New("dataset and csv are mutually exclusive")

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"dbre/internal/core"
@@ -21,6 +22,8 @@ import (
 	"dbre/internal/expert"
 	"dbre/internal/obs"
 	"dbre/internal/sql/exec"
+	"dbre/internal/storage"
+	"dbre/internal/table"
 )
 
 // submit validates admission and enqueues a new job. The returned error
@@ -119,24 +122,56 @@ func (s *Server) runJob(j *job) {
 // same tracer shape.
 func (s *Server) execute(ctx context.Context, j *job, tracer *obs.Tracer) error {
 	spec := j.spec
-	db, errs := exec.LoadScript(spec.SchemaSQL)
-	if len(errs) > 0 {
-		return fmt.Errorf("loading script: %w (and %d more)", errs[0], len(errs)-1)
+	loadSchema := func() (*table.Database, error) {
+		db, errs := exec.LoadScript(spec.SchemaSQL)
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("loading script: %w (and %d more)", errs[0], len(errs)-1)
+		}
+		return db, nil
 	}
 
+	var db *table.Database
 	violations := 0
 	switch {
 	case spec.Dataset != "":
 		if s.cfg.DatasetRoot == "" {
 			return errors.New("server has no dataset root configured")
 		}
-		v, err := csvio.LoadDirCtx(ctx, db, filepath.Join(s.cfg.DatasetRoot, spec.Dataset), false,
+		dir := filepath.Join(s.cfg.DatasetRoot, spec.Dataset)
+		if storage.IsSnapshot(dir) {
+			// A snapshot-backed dataset carries its own catalog and boots
+			// warm: checksummed sections instead of CSV parsing, WAL
+			// deltas replayed, columns loaded lazily as discovery phases
+			// touch them.
+			if strings.TrimSpace(spec.SchemaSQL) != "" {
+				return fmt.Errorf("dataset %s is snapshot-backed and carries its own schema; schema_sql must be empty", spec.Dataset)
+			}
+			warm, info, err := storage.OpenCtx(ctx, dir, storage.Options{})
+			if err != nil {
+				return fmt.Errorf("opening snapshot dataset %s: %w", spec.Dataset, err)
+			}
+			defer info.Close()
+			db = warm
+			break
+		}
+		if strings.TrimSpace(spec.SchemaSQL) == "" {
+			return fmt.Errorf("dataset %s holds no snapshot, so schema_sql is required", spec.Dataset)
+		}
+		var err error
+		if db, err = loadSchema(); err != nil {
+			return err
+		}
+		v, err := csvio.LoadDirCtx(ctx, db, dir, false,
 			csvio.Options{Parallelism: spec.Parallelism})
 		if err != nil {
 			return fmt.Errorf("loading dataset %s: %w", spec.Dataset, err)
 		}
 		violations = v
 	case len(spec.CSV) > 0:
+		var err error
+		if db, err = loadSchema(); err != nil {
+			return err
+		}
 		dir, err := os.MkdirTemp("", "dbre-job-")
 		if err != nil {
 			return err
@@ -154,6 +189,11 @@ func (s *Server) execute(ctx context.Context, j *job, tracer *obs.Tracer) error 
 			return fmt.Errorf("loading inline csv: %w", err)
 		}
 		violations = v
+	default:
+		var err error
+		if db, err = loadSchema(); err != nil {
+			return err
+		}
 	}
 	j.mu.Lock()
 	j.violations = violations

@@ -1,0 +1,433 @@
+// The write-ahead log. A WAL is a sequence of length- and CRC-framed
+// batch records appended after a fixed header that binds the log to the
+// snapshot it extends (by the snapshot's footer CRC and file size; an
+// unbound log — both zero — journals an ingest that has no snapshot
+// yet). Loaders journal each batch of rows *before* committing it to the
+// engine (log-then-apply), so after a crash the log holds a superset of
+// what was applied, and replaying it through the same append semantics
+// (table.Appender.AppendBatch, whose result depends only on row order
+// and the strict flag — not on batch boundaries) converges on the exact
+// pre-crash engine state.
+//
+// Torn tails are expected, not corrupt: a record whose frame is
+// incomplete or whose CRC does not match ends the log, everything before
+// it replays, and the dropped byte count is reported (never silently).
+// OpenWAL additionally truncates the torn tail so new records never
+// interleave with garbage. A CRC-valid record that fails to decode, by
+// contrast, is real corruption and surfaces as a typed *CorruptError.
+package storage
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dbre/internal/obs"
+	"dbre/internal/table"
+)
+
+// WAL is an append handle on a directory's write-ahead log. Safe for
+// concurrent LogBatch calls (parallel loaders journal from the commit
+// goroutine, but the lock keeps the contract simple).
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	enc  enc // record scratch, reused across batches
+}
+
+// ReplayStats reports what a WAL replay (or scan) found and applied.
+type ReplayStats struct {
+	Records      int   // batch records re-applied
+	Rows         int   // rows those records carried
+	Violations   int   // constraint violations tolerated (non-strict batches)
+	StrictAborts int   // strict batches that rolled back mid-record, as they did originally
+	Truncated    bool  // a torn tail ended the log early
+	DroppedBytes int64 // bytes of torn tail dropped
+}
+
+// OpenWAL opens dir's write-ahead log for appending, creating it if
+// absent — bound to dir's snapshot when one exists, unbound otherwise.
+// An existing log is scanned first and any torn tail truncated, so the
+// next record lands after the last valid one.
+func OpenWAL(dir string) (*WAL, error) {
+	path := filepath.Join(dir, WALFile)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, fs.ErrNotExist) {
+		crc, size, berr := snapshotBinding(dir)
+		if berr != nil {
+			return nil, berr
+		}
+		if werr := writeWALHeader(path, crc, size); werr != nil {
+			return nil, werr
+		}
+		f, err = os.OpenFile(path, os.O_RDWR, 0o644)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: wal: %w", err)
+	}
+	if _, _, err := readWALHeader(f, path); err != nil {
+		f.Close()
+		return nil, err
+	}
+	end, _, err := scanRecords(f, path, st.Size(), nil)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if end < st.Size() {
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: wal: %w", err)
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// LogBatch appends one batch record: the relation name, the strict flag,
+// and every row's values. Each record is framed by its payload length
+// and CRC32C and handed to the kernel in a single write, so a process
+// killed right after LogBatch returns still recovers the batch on
+// replay (call Sync for power-failure durability). Empty batches are
+// not journaled.
+func (w *WAL) LogBatch(rel string, rows []table.Row, strict bool) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("storage: wal: closed")
+	}
+	arity := len(rows[0])
+	w.enc.reset()
+	e := &w.enc
+	// Frame placeholder: length and CRC are patched in below.
+	e.u32(0)
+	e.u32(0)
+	e.u8(walRecBatch)
+	e.str(rel)
+	if strict {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.uvarint(uint64(arity))
+	e.uvarint(uint64(len(rows)))
+	for _, row := range rows {
+		if len(row) != arity {
+			return fmt.Errorf("storage: wal: ragged batch for %s: row arity %d, want %d", rel, len(row), arity)
+		}
+		for _, v := range row {
+			e.value(v)
+		}
+	}
+	payload := e.b[8:]
+	binary.LittleEndian.PutUint32(e.b, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(e.b[4:], checksum(payload))
+	if _, err := w.f.Write(e.b); err != nil {
+		return fmt.Errorf("storage: wal: %w", err)
+	}
+	return nil
+}
+
+// Sync fsyncs the log.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("storage: wal: closed")
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: wal: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and releases the log. Idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	if err != nil {
+		return fmt.Errorf("storage: wal: %w", err)
+	}
+	return nil
+}
+
+// ReplayWAL re-applies dir's write-ahead log onto db, which must hold
+// the exact state the log was journaled against (a freshly DDL'd empty
+// database for an unbound ingest journal; Open performs the
+// snapshot-bound variant itself and validates the binding). Returns the
+// replay statistics; a torn tail is reported there, not as an error.
+func ReplayWAL(ctx context.Context, db *table.Database, dir string) (*ReplayStats, error) {
+	path := filepath.Join(dir, WALFile)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: wal: %w", err)
+	}
+	defer f.Close()
+	return replayOpenWAL(ctx, db, f, path)
+}
+
+// replayBoundWAL is Open's replay path: the log must be bound to exactly
+// the snapshot just loaded. A mismatched binding is a typed error — it
+// means the WAL belongs to a different (usually older) snapshot and its
+// deltas must not be applied.
+func replayBoundWAL(ctx context.Context, db *table.Database, path string, footerCRC uint32, snapSize uint64) (*ReplayStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: wal: %w", err)
+	}
+	defer f.Close()
+	boundCRC, boundSize, err := readWALHeader(f, path)
+	if err != nil {
+		return nil, err
+	}
+	if boundCRC != footerCRC || boundSize != snapSize {
+		return nil, corrupt(path, "header",
+			"log is bound to snapshot (crc %08x, %d bytes) but the directory holds (crc %08x, %d bytes); refusing to replay foreign deltas",
+			boundCRC, boundSize, footerCRC, snapSize)
+	}
+	return replayOpenWAL(ctx, db, f, path)
+}
+
+func replayOpenWAL(ctx context.Context, db *table.Database, f *os.File, path string) (*ReplayStats, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: wal: %w", err)
+	}
+	if _, _, err := readWALHeader(f, path); err != nil {
+		return nil, err
+	}
+	stats := &ReplayStats{}
+	appenders := make(map[string]*table.Appender)
+	rec := 0
+	apply := func(payload []byte) error {
+		err := applyRecord(db, path, rec, payload, stats, appenders)
+		rec++
+		return err
+	}
+	end, dropped, err := scanRecords(f, path, st.Size(), apply)
+	if err != nil {
+		return nil, err
+	}
+	_ = end
+	if dropped > 0 {
+		stats.Truncated = true
+		stats.DroppedBytes = dropped
+	}
+	tr := obs.FromContext(ctx)
+	tr.Add(obs.CtrWALRecordsReplayed, int64(stats.Records))
+	tr.Add(obs.CtrWALRowsReplayed, int64(stats.Rows))
+	return stats, nil
+}
+
+// applyRecord decodes and applies one batch record. Replay re-executes
+// the exact append semantics the original load used: a strict batch
+// that violated a constraint rolls back at the same row and is counted,
+// matching the aborted original load's state.
+func applyRecord(db *table.Database, path string, rec int, payload []byte, stats *ReplayStats, appenders map[string]*table.Appender) error {
+	sec := fmt.Sprintf("record %d", rec)
+	d := dec{b: payload}
+	if typ := d.u8(); d.err == nil && typ != walRecBatch {
+		return corrupt(path, sec, "unknown record type %d", typ)
+	}
+	rel := d.str()
+	var strict bool
+	switch s := d.u8(); s {
+	case 0:
+	case 1:
+		strict = true
+	default:
+		d.fail("bad strict flag %d", s)
+	}
+	arity := int(d.uvarint())
+	nrows := int(d.uvarint())
+	if d.err != nil {
+		return corrupt(path, sec, "%v", d.err)
+	}
+	t, ok := db.Table(rel)
+	if !ok {
+		return corrupt(path, sec, "unknown relation %q", rel)
+	}
+	if arity != len(t.Schema().Attrs) {
+		return corrupt(path, sec, "relation %s: arity %d, schema has %d", rel, arity, len(t.Schema().Attrs))
+	}
+	if arity > 0 && uint64(nrows) > uint64(len(d.b)) {
+		return corrupt(path, sec, "row count %d exceeds remaining payload %d", nrows, len(d.b))
+	}
+	enc := table.NewChunkEncoder(t)
+	row := make(table.Row, arity)
+	for i := 0; i < nrows; i++ {
+		for j := 0; j < arity; j++ {
+			row[j] = d.value()
+		}
+		if d.err != nil {
+			return corrupt(path, sec, "row %d: %v", i, d.err)
+		}
+		if err := enc.AppendRow(row); err != nil {
+			return corrupt(path, sec, "row %d: %v", i, err)
+		}
+	}
+	if err := d.finish(sec); err != nil {
+		return corrupt(path, sec, "%v", err)
+	}
+	ap := appenders[rel]
+	if ap == nil {
+		ap = t.NewAppender()
+		appenders[rel] = ap
+	}
+	v, err := ap.AppendBatch(enc, strict)
+	stats.Records++
+	stats.Rows += nrows
+	stats.Violations += v
+	if err != nil {
+		var be *table.BatchError
+		if errors.As(err, &be) {
+			// The original strict load hit this same violation, rolled
+			// back to the same row, and stopped journaling this
+			// relation — the partial apply IS the converged state.
+			stats.StrictAborts++
+			return nil
+		}
+		return fmt.Errorf("storage: wal: %s: %w", sec, err)
+	}
+	return nil
+}
+
+// scanRecords walks the framed records after the header, calling apply
+// (when non-nil) on each CRC-valid payload. It stops at the first torn
+// record — incomplete frame, impossible length, or checksum mismatch —
+// and returns the offset where valid data ends plus how many bytes
+// follow it. Errors returned by apply abort the scan.
+func scanRecords(f *os.File, path string, size int64, apply func(payload []byte) error) (validEnd int64, dropped int64, err error) {
+	pos := int64(walHeaderSize)
+	frame := make([]byte, 8)
+	var buf []byte
+	for {
+		if size-pos < 8 {
+			break
+		}
+		if _, err := f.ReadAt(frame, pos); err != nil {
+			return 0, 0, fmt.Errorf("storage: wal: %w", err)
+		}
+		recLen := int64(binary.LittleEndian.Uint32(frame))
+		crc := binary.LittleEndian.Uint32(frame[4:])
+		if recLen == 0 || recLen > size-pos-8 {
+			break
+		}
+		if int64(cap(buf)) < recLen {
+			buf = make([]byte, recLen)
+		}
+		b := buf[:recLen]
+		if _, err := f.ReadAt(b, pos+8); err != nil {
+			return 0, 0, fmt.Errorf("storage: wal: %w", err)
+		}
+		if checksum(b) != crc {
+			break
+		}
+		if apply != nil {
+			if err := apply(b); err != nil {
+				return 0, 0, err
+			}
+		}
+		pos += 8 + recLen
+	}
+	return pos, size - pos, nil
+}
+
+// readWALHeader validates the fixed header and returns the snapshot
+// binding it declares (zero, zero for an unbound ingest journal).
+func readWALHeader(f *os.File, path string) (boundCRC uint32, boundSize uint64, err error) {
+	hdr := make([]byte, walHeaderSize)
+	if _, rerr := f.ReadAt(hdr, 0); rerr != nil {
+		return 0, 0, corrupt(path, "header", "short header: %v", rerr)
+	}
+	if string(hdr[:8]) != walMagic {
+		return 0, 0, corrupt(path, "header", "bad magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != formatVersion {
+		return 0, 0, corrupt(path, "header", "unsupported format version %d", v)
+	}
+	return binary.LittleEndian.Uint32(hdr[12:]), binary.LittleEndian.Uint64(hdr[16:]), nil
+}
+
+// writeWALHeader atomically (re)creates path as an empty log carrying
+// the given snapshot binding.
+func writeWALHeader(path string, boundCRC uint32, boundSize uint64) error {
+	var e enc
+	e.b = append(e.b, walMagic...)
+	e.u32(formatVersion)
+	e.u32(boundCRC)
+	e.u64(boundSize)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, e.b, 0o644); err != nil {
+		return fmt.Errorf("storage: wal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: wal: %w", err)
+	}
+	return nil
+}
+
+// resetWAL is Snapshot's post-rename step: an empty log bound to the new
+// snapshot.
+func resetWAL(dir string, footerCRC uint32, snapSize uint64) error {
+	if err := writeWALHeader(filepath.Join(dir, WALFile), footerCRC, snapSize); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// snapshotBinding reads the binding values (footer CRC, file size) of
+// dir's snapshot, or zeros when none exists.
+func snapshotBinding(dir string) (uint32, uint64, error) {
+	path := filepath.Join(dir, SnapshotFile)
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("storage: wal: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("storage: wal: %w", err)
+	}
+	if st.Size() < headerSize+trailerSize {
+		return 0, 0, corrupt(path, "file", "%d bytes is smaller than header+trailer", st.Size())
+	}
+	tr := make([]byte, trailerSize)
+	if _, err := f.ReadAt(tr, st.Size()-trailerSize); err != nil {
+		return 0, 0, fmt.Errorf("storage: wal: %w", err)
+	}
+	if string(tr[20:]) != trailerMagic {
+		return 0, 0, corrupt(path, "trailer", "bad magic %q", tr[20:])
+	}
+	return binary.LittleEndian.Uint32(tr[16:]), uint64(st.Size()), nil
+}

@@ -176,6 +176,7 @@ func (a *Appender) AppendBatch(b *ChunkEncoder, strict bool) (violations int, er
 	if b.n == 0 {
 		return 0, nil
 	}
+	t.ensureMutable()
 	base := t.nrows
 	nc := len(t.columns)
 	a.baseDict = resizeInts(a.baseDict, nc)

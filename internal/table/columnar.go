@@ -108,6 +108,7 @@ func (t *Table) ColumnCodes(c int) []int32 {
 	if t.columns == nil {
 		return nil
 	}
+	t.ensureCol(c)
 	return t.columns[c].codes[:t.nrows:t.nrows]
 }
 
@@ -118,6 +119,7 @@ func (t *Table) ColumnDict(c int) []value.Value {
 	if t.columns == nil {
 		return nil
 	}
+	t.ensureCol(c)
 	d := t.columns[c].dict
 	return d[:len(d):len(d)]
 }
@@ -149,6 +151,7 @@ func (t *Table) appendEncoded(row Row) {
 // share the prefix tuple, and new ids are assigned in the same
 // first-occurrence row order.
 func (t *Table) columnarProjection(idx []int) *Projection {
+	t.ensureCols(idx)
 	n := t.nrows
 	if len(idx) == 1 {
 		c := &t.columns[idx[0]]
@@ -170,6 +173,7 @@ func (t *Table) columnarProjection(idx []int) *Projection {
 // Projection retains, so steady-state refinement allocates just the
 // retained result.
 func (t *Table) refineFrom(g []int32, groups int, idx []int, from int) *Projection {
+	t.ensureCols(idx[from:])
 	n := t.nrows
 	r := acquireRefiner()
 	var reps []int32

@@ -81,6 +81,13 @@ func (s *TableSketches) CatchUp() int {
 	defer s.mu.Unlock()
 	work := 0
 	for ci := range s.t.columns {
+		// A deferred column section has nothing new to consume; its
+		// watermark stays put until a reader (Column) materializes it.
+		// Skipping also keeps CatchUp race-free against a concurrent
+		// section load installing the dict.
+		if !s.t.colLoaded(ci) {
+			continue
+		}
 		dict := s.t.columns[ci].dict
 		if len(dict) < s.consumed[ci] {
 			s.cols[ci] = sketch.NewColumn(s.cfg)
@@ -120,6 +127,7 @@ func (s *TableSketches) Column(attr string) *sketch.Column {
 	if !ok {
 		return nil
 	}
+	s.t.ensureCol(ci)
 	s.CatchUp()
 	return s.cols[ci]
 }

@@ -74,6 +74,12 @@ type Table struct {
 	// sketch.go); atomic because concurrent readers may race to enable
 	// it. nil until EnableSketches, and always nil on the row engine.
 	sketches atomic.Pointer[TableSketches]
+	// lazy is non-nil on a table restored from a snapshot with deferred
+	// column sections; internStale marks that the interning maps must be
+	// rebuilt from the dictionaries before the first mutation. See
+	// persist.go for both.
+	lazy        *lazyCols
+	internStale bool
 }
 
 // New creates an empty table for the given schema on the default
@@ -145,6 +151,7 @@ func (t *Table) ReadRow(i int, buf Row) Row {
 	if t.columns == nil {
 		return t.rows[i]
 	}
+	t.ensureAll()
 	if len(buf) < len(t.columns) {
 		buf = make(Row, len(t.columns))
 	}
@@ -164,6 +171,7 @@ func (t *Table) ReadRow(i int, buf Row) Row {
 // materializing the tuple.
 func (t *Table) Value(i, col int) value.Value {
 	if t.columns != nil {
+		t.ensureCol(col)
 		c := &t.columns[col]
 		if code := c.codes[i]; code >= 0 {
 			return c.dict[code]
@@ -214,6 +222,7 @@ func keyOf(row Row, idx []int) (key string, hasNull bool) {
 // plus a 0x1f terminator per attribute.
 func (t *Table) appendRowKey(b []byte, i int, idx []int) (key []byte, hasNull bool) {
 	if t.columns != nil {
+		t.ensureCols(idx)
 		for _, c := range idx {
 			col := &t.columns[c]
 			code := col.codes[i]
@@ -246,6 +255,7 @@ func (t *Table) Insert(row Row) error {
 	if len(row) != len(t.schema.Attrs) {
 		return fmt.Errorf("table %s: arity %d, want %d", t.schema.Name, len(row), len(t.schema.Attrs))
 	}
+	t.ensureMutable()
 	stored := make(Row, len(row))
 	for i, a := range t.schema.Attrs {
 		v := row[i]
@@ -362,6 +372,7 @@ func (t *Table) MustInsert(row Row) {
 // schema arity.
 func (t *Table) InsertUnchecked(row Row) {
 	if t.columns != nil {
+		t.ensureMutable()
 		t.appendEncoded(row)
 	} else {
 		t.rows = append(t.rows, row.Clone())
@@ -402,6 +413,7 @@ func (t *Table) CountNonNull(attrs []string) (int, error) {
 		if len(idx) == 1 {
 			return t.columns[idx[0]].nonNull, nil
 		}
+		t.ensureCols(idx)
 		n := 0
 	scan:
 		for i := 0; i < t.nrows; i++ {
@@ -440,7 +452,10 @@ func (t *Table) DistinctCount(attrs []string) (int, error) {
 	if t.columns != nil {
 		if len(attrs) == 1 {
 			if c, ok := t.cols[attrs[0]]; ok {
-				return len(t.columns[c].dict), nil
+				// dictLen answers from restore metadata when the column
+				// section is still deferred — the O(1) count never
+				// forces a load.
+				return t.dictLen(c), nil
 			}
 			return 0, fmt.Errorf("table %s: unknown attribute %q", t.schema.Name, attrs[0])
 		}
@@ -476,6 +491,7 @@ func (t *Table) intSet(attr string) (map[int64]struct{}, bool) {
 		if c.nonInt {
 			return nil, false
 		}
+		t.ensureCol(col)
 		set := make(map[int64]struct{}, len(c.dict))
 		for _, v := range c.dict {
 			set[v.Int()] = struct{}{}
@@ -1031,15 +1047,13 @@ func valueBytes(v value.Value) int64 {
 func (t *Table) ApproxBytes() int64 {
 	var b int64
 	for i := range t.columns {
-		c := &t.columns[i]
-		b += int64(len(c.codes)) * 4
-		for _, v := range c.dict {
-			b += valueBytes(v)
+		// A deferred column section is costed from its restore metadata
+		// so admission control does not force every column resident.
+		if !t.colLoaded(i) {
+			b += t.lazy.bytes[i]
+			continue
 		}
-		// The ints/keys interning maps hold one entry per dictionary
-		// code: ~16 bytes of bucket overhead beyond the key payload
-		// already counted through the dictionary.
-		b += int64(len(c.dict)) * 16
+		b += columnBytes(&t.columns[i])
 	}
 	for _, r := range t.rows {
 		b += 24 // slice header

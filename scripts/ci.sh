@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: formatting and vet gates, a documentation link check,
 # build, race-enabled tests (which include the differential equivalence
-# harness and the obs/stats/table allocation regressions), and a short
-# fuzz smoke of the five fuzz targets (parsers, loaders, sketches). Run from the repository
-# root; the GitHub Actions workflow (.github/workflows/ci.yml) invokes
-# exactly this script so local runs reproduce CI bit for bit.
+# harness and the obs/stats/table allocation regressions), the storage
+# persistence/fault-injection suite, and a short fuzz smoke of the six
+# fuzz targets (parsers, loaders, sketches, snapshots). Run from the
+# repository root; the GitHub Actions workflow (.github/workflows/ci.yml)
+# invokes exactly this script so local runs reproduce CI bit for bit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,10 +37,13 @@ go test -race -count=1 ./internal/serve/...
 echo "==> job server: CLI start/submit/shutdown smoke"
 go test -race -count=1 -run 'TestServeSmoke' ./cmd/dbre
 
+echo "==> storage: snapshot round-trip, WAL replay, fault injection under -race (explicit)"
+go test -race -count=1 ./internal/storage/...
+
 echo "==> allocation regressions (explicit, without -race instrumentation)"
 go test -run 'TestAlloc' ./internal/stats ./internal/obs ./internal/table
 
-echo "==> perf gate: B9/B12/B13/B14 vs checked-in baselines"
+echo "==> perf gate: B9/B12/B13/B14/B15 vs checked-in baselines"
 ./scripts/perfgate.sh
 
 echo "==> fuzz smoke: FuzzLoadSQL (${FUZZTIME})"
@@ -56,5 +60,8 @@ go test -run=^$ -fuzz='^FuzzJobRequest$' -fuzztime="${FUZZTIME}" ./internal/serv
 
 echo "==> fuzz smoke: FuzzSketchEstimate (${FUZZTIME})"
 go test -run=^$ -fuzz='^FuzzSketchEstimate$' -fuzztime="${FUZZTIME}" ./internal/sketch
+
+echo "==> fuzz smoke: FuzzSnapshotRoundTrip (${FUZZTIME})"
+go test -run=^$ -fuzz='^FuzzSnapshotRoundTrip$' -fuzztime="${FUZZTIME}" ./internal/storage
 
 echo "==> ci.sh: all green"
