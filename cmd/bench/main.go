@@ -1,10 +1,11 @@
 // Command bench regenerates every experiment of EXPERIMENTS.md: the
 // exact-reproduction artifacts E1–E7 (the paper's worked example, checked
-// against the expected sets) and the quantitative tables B1–B15
+// against the expected sets) and the quantitative tables B1–B16
 // (query-guided vs exhaustive discovery, scalability, corruption sweeps,
 // the statistics cache, the columnar storage engine and its refinement
 // kernels, parallel batched ingest, the sketch-based approximate
-// discovery tier, and snapshot persistence vs cold re-ingest).
+// discovery tier, snapshot persistence vs cold re-ingest, and
+// incremental re-validation vs full re-discovery under live appends).
 //
 // Usage:
 //
@@ -96,6 +97,7 @@ func registry() []experiment {
 		{"B13", "parallel batched ingest: chunked loaders, columnar appender, dictionary merge", runB13},
 		{"B14", "sketch triage tier: certain pruning vs exact-only discovery on near-miss INDs", runB14},
 		{"B15", "persistence: cold CSV re-ingest vs warm snapshot boot and lazy column loading", runB15},
+		{"B16", "incremental discovery: delta re-validation vs full re-discovery after a 1% append", runB16},
 		{"A1", "ablation: transitive equality closure on/off", runA1},
 		{"A2", "ablation: auto-expert inclusion slack sweep on dirty data", runA2},
 		{"A3", "ablation: key inference on keyless dictionaries", runA3},
@@ -1627,5 +1629,145 @@ func runB15(w io.Writer) error {
 	record("warm_speedup", speedup)
 	record("snapshot_bytes", float64(snapStat.Size()))
 	record("lazy_columns", float64(lazyCols))
+	return nil
+}
+
+// b16Signature renders the discovery outcome of a run — constraint sets,
+// inclusion dependencies, candidate LHS, functional dependencies, hidden
+// objects — with timings and traces excluded, so incremental and cold
+// runs can be compared bit-for-bit.
+func b16Signature(rep *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "K=%d N=%d inferred=%d\n", len(rep.K), len(rep.N), len(rep.InferredKeys))
+	fmt.Fprintf(&b, "IND=%s\n", rep.IND.INDs)
+	fmt.Fprintf(&b, "S=%v\n", rep.IND.NewRelations)
+	for _, l := range rep.LHS.LHS {
+		fmt.Fprintf(&b, "LHS %s\n", l)
+	}
+	for _, f := range rep.RHS.FDs {
+		fmt.Fprintf(&b, "FD %s\n", f)
+	}
+	for _, h := range rep.RHS.Hidden {
+		fmt.Fprintf(&b, "H %s\n", h)
+	}
+	return b.String()
+}
+
+// b16Delta clones the first n rows of a fact relation with fresh key
+// values past nextID: every (FK, embedded-attribute) combination already
+// exists, so clean FDs stay provably clean from the delta alone, and no
+// join gains or loses evidence — the shape of a live system appending
+// routine transactions.
+func b16Delta(tab *table.Table, n int, nextID int64) []table.Row {
+	rows := make([]table.Row, 0, n)
+	for i := 0; i < n; i++ {
+		src := tab.Row(i)
+		row := append(table.Row(nil), src...)
+		row[0] = value.NewInt(nextID + int64(i))
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// runB16 gates the incremental-discovery tier: a 100k-tuple workload is
+// discovered once (core.DiscoverIncrementalPrograms), then five rounds
+// each append a 1% delta across the fact relations and re-validate the
+// warm state (core.Incremental.Revalidate) — unchanged relations replay,
+// clean FDs are checked against the appended rows only, and join
+// evidence is recounted through the stats cache's delta partition
+// refinement. The median re-validation races the median of full cold
+// re-discovery over the final grown database; the incremental path must
+// win by at least 10x (enforced here and by scripts/perfgate.sh against
+// BENCH_B16.json), and its final report must be bit-identical to the
+// cold run's.
+func runB16(w io.Writer) error {
+	spec := workload.DefaultSpec(42)
+	spec.FactRows = 25000  // 4 fact relations ⇒ 100k fact tuples
+	spec.Corruption = 0    // clean links: appended clones disturb nothing
+	spec.CompositeDims = 2 // composite FKs: multi-attribute group vectors to delta-extend
+	wl := mustWorkload(spec)
+	ctx := context.Background()
+	opts := core.Options{Oracle: expert.NewAuto(), TransitiveClosure: true, Parallelism: 8}
+
+	// The warm state owns its cache so the delta-refinement counters can
+	// be read back; the cold re-runs below build their own from scratch.
+	cache := stats.NewCache(wl.DB)
+	warmOpts := opts
+	warmOpts.Stats = cache
+	warmStart := time.Now()
+	inc, err := core.DiscoverIncrementalPrograms(ctx, wl.DB, wl.Programs, warmOpts)
+	if err != nil {
+		return err
+	}
+	warmWall := time.Since(warmStart)
+
+	const rounds = 5
+	deltaPerFact := spec.FactRows / 100 // 1% of each fact relation
+	nextID := int64(spec.FactRows + 1)
+	incWalls := make([]time.Duration, 0, rounds)
+	appended := 0
+	for r := 0; r < rounds; r++ {
+		for f := 0; f < spec.Facts; f++ {
+			tab := wl.DB.MustTable(fmt.Sprintf("F%d", f))
+			enc := table.NewChunkEncoder(tab)
+			for _, row := range b16Delta(tab, deltaPerFact, nextID) {
+				if err := enc.AppendRow(row); err != nil {
+					return err
+				}
+			}
+			viol, err := tab.NewAppender().AppendBatch(enc, true)
+			if err != nil || viol != 0 {
+				return fmt.Errorf("B16: append round %d: violations=%d err=%v", r, viol, err)
+			}
+			appended += deltaPerFact
+		}
+		nextID += int64(deltaPerFact)
+		runtime.GC()
+		start := time.Now()
+		dr, err := inc.Revalidate(ctx)
+		if err != nil {
+			return err
+		}
+		incWalls = append(incWalls, time.Since(start))
+		if dr.FD.Broken != 0 || len(dr.NewFDs) != 0 || len(dr.BrokenINDs) != 0 {
+			return fmt.Errorf("B16: clean delta changed dependencies: %s", dr.Text())
+		}
+	}
+	incWall, _ := medianSpread(incWalls)
+
+	// The full path an incremental run replaces: cold re-discovery over
+	// the grown database, program scan included.
+	fullWalls := make([]time.Duration, 0, 3)
+	var cold *core.Incremental
+	for i := 0; i < cap(fullWalls); i++ {
+		runtime.GC()
+		start := time.Now()
+		cold, err = core.DiscoverIncrementalPrograms(ctx, wl.DB, wl.Programs, opts)
+		if err != nil {
+			return err
+		}
+		fullWalls = append(fullWalls, time.Since(start))
+	}
+	fullWall, _ := medianSpread(fullWalls)
+
+	if got, want := b16Signature(inc.Report()), b16Signature(cold.Report()); got != want {
+		return fmt.Errorf("B16: incremental state diverged from cold re-discovery:\n--- incremental\n%s--- cold\n%s", got, want)
+	}
+	speedup := float64(fullWall) / float64(incWall)
+	printTable(w, []string{"discovery path", "wall (median)", "scope"}, [][]string{
+		{"initial warm run", warmWall.Round(time.Microsecond).String(), fmt.Sprintf("%d fact tuples", spec.Facts*spec.FactRows)},
+		{"incremental re-validation", incWall.Round(time.Microsecond).String(), fmt.Sprintf("1%% delta (%d rows/round)", spec.Facts*deltaPerFact)},
+		{"full cold re-discovery", fullWall.Round(time.Microsecond).String(), fmt.Sprintf("%d fact tuples", spec.Facts*spec.FactRows+appended)},
+	})
+	fmt.Fprintf(w, "  incremental re-validation %.1fx faster than full re-discovery (target ≥ 10x); final state bit-identical\n", speedup)
+	if speedup < 10 {
+		return fmt.Errorf("B16: incremental speedup %.2fx below the 10x target", speedup)
+	}
+	record("initial_run_ms", float64(warmWall.Microseconds())/1000)
+	record("incremental_ms", float64(incWall.Microseconds())/1000)
+	record("full_rerun_ms", float64(fullWall.Microseconds())/1000)
+	record("incremental_speedup", speedup)
+	record("delta_rows_per_round", float64(spec.Facts*deltaPerFact))
+	record("delta_refines", float64(cache.Metrics().DeltaHits))
 	return nil
 }

@@ -104,12 +104,21 @@ func DiscoverRHSOpts(db *table.Database, lhs, hidden []relation.Ref, oracle expe
 // fd-rhs-pruned counters are published. Untraced contexts cost nothing
 // (nil-span no-ops).
 func DiscoverRHSOptsCtx(ctx context.Context, db *table.Database, lhs, hidden []relation.Ref, oracle expert.Oracle, o Opts) (*Result, error) {
+	res, _, err := DiscoverRHSSupportsCtx(ctx, db, lhs, hidden, oracle, o)
+	return res, err
+}
+
+// DiscoverRHSSupportsCtx is DiscoverRHSOptsCtx additionally returning
+// the per-(candidate, attribute) support table the decisions were made
+// from. The incremental re-validation path (delta.go) retains it as the
+// warm state a later delta run re-checks against.
+func DiscoverRHSSupportsCtx(ctx context.Context, db *table.Database, lhs, hidden []relation.Ref, oracle expert.Oracle, o Opts) (*Result, SupportMap, error) {
 	tr := obs.FromContext(ctx)
 	_, psp := obs.StartSpan(ctx, "plan")
 	plan, err := planRHS(db, lhs, hidden)
 	if err != nil {
 		psp.End()
-		return nil, err
+		return nil, nil, err
 	}
 	psp.SetInt("candidates", int64(len(plan.candidates)))
 	psp.End()
@@ -134,7 +143,7 @@ func DiscoverRHSOptsCtx(ctx context.Context, db *table.Database, lhs, hidden []r
 			checks = append(checks, chk{i, b})
 		}
 	}
-	supports := make(map[[2]string]expert.FDSupport, len(checks))
+	supports := make(SupportMap, len(checks))
 	keyOf := func(c chk) [2]string {
 		return [2]string{plan.candidates[c.cand].Key(), c.attr}
 	}
@@ -177,7 +186,7 @@ func DiscoverRHSOptsCtx(ctx context.Context, db *table.Database, lhs, hidden []r
 	tr.Add(obs.CtrFDChecks, int64(len(checks)))
 	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		supports[keyOf(checks[i])] = results[i]
 	}
@@ -191,7 +200,10 @@ func DiscoverRHSOptsCtx(ctx context.Context, db *table.Database, lhs, hidden []r
 		dsp.SetInt("hidden", int64(len(res.Hidden)))
 	}
 	dsp.End()
-	return res, err
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, supports, nil
 }
 
 // rhsPlan is the deterministic candidate schedule both variants share.

@@ -1,0 +1,185 @@
+// Targeted IND re-validation after a batch append. Appends can only
+// grow a projection's distinct set, so the three counts of an equi-join
+// move monotonically — and an unchanged (N_k, N_l, N_kl) triple implies
+// an unchanged intersection *set* (a grown-only intersection of the
+// same size is the same set), which means the previous decision and any
+// NEI concept relation built from that intersection are still exact.
+// Only joins whose evidence actually moved re-enter the decision
+// branches (and the expert dialogue); a previously-conceptualized NEI
+// relation whose join is re-decided is retracted first, so
+// re-conceptualization lands on the same relation name a cold run
+// would pick.
+package ind
+
+import (
+	"context"
+	"fmt"
+
+	"dbre/internal/deps"
+	"dbre/internal/expert"
+	"dbre/internal/obs"
+	"dbre/internal/stats"
+	"dbre/internal/table"
+)
+
+// DeltaStats summarizes how a delta re-validation classified the joins.
+type DeltaStats struct {
+	// Reused counts joins over unchanged relations: the previous
+	// outcome is replayed without any extension query.
+	Reused int
+	// Recounted counts joins that reran their three extension queries
+	// but whose counts came back unchanged, so the previous decision
+	// (and NEI relation, if any) is kept without consulting the expert.
+	Recounted int
+	// Redecided counts joins whose evidence changed (or that have no
+	// usable history): the full decision branch re-runs, including the
+	// expert dialogue and NEI re-conceptualization.
+	Redecided int
+}
+
+// DiscoverDeltaCtx replays IND-Discovery over a grown database using the
+// previous run's outcomes. Joins over unchanged relations are reused
+// outright; joins touching grown relations are recounted and, when the
+// counts moved, fully re-decided — their stale NEI concept relations
+// are removed from db (and their baseRows entries dropped) before the
+// decision loop so re-conceptualization is indistinguishable from a
+// cold run's. With a deterministic oracle the result is bit-identical
+// to a cold DiscoverOptsCtx on the same state, except that relation
+// naming can diverge when suggested NEI names collide across distinct
+// joins (a cold run numbers them in decision order; the delta run keeps
+// surviving names stable).
+func DiscoverDeltaCtx(ctx context.Context, db *table.Database, q *deps.JoinSet, oracle expert.Oracle, o Opts, prev *Result, baseRows map[string]int) (*Result, DeltaStats, error) {
+	var ds DeltaStats
+	if prev == nil {
+		res, err := DiscoverOptsCtx(ctx, db, q, oracle, o)
+		return res, ds, err
+	}
+	if oracle == nil {
+		oracle = expert.NewAuto()
+	}
+	tr := obs.FromContext(ctx)
+	joins := q.Sorted()
+	prevOut := make(map[string]*Outcome, len(prev.Outcomes))
+	for i := range prev.Outcomes {
+		po := &prev.Outcomes[i]
+		prevOut[po.Join.Key()] = po
+	}
+	changed := func(rel string) bool {
+		tab, ok := db.Table(rel)
+		if !ok {
+			return true
+		}
+		base, known := baseRows[rel]
+		return !known || tab.Len() != base
+	}
+	const (
+		kindReuse   = int8(0)
+		kindRecount = int8(1)
+		kindFull    = int8(2)
+	)
+	kinds := make([]int8, len(joins))
+	for i, j := range joins {
+		po, have := prevOut[j.Key()]
+		switch {
+		case have && po.Err == nil && !changed(j.Left.Rel) && !changed(j.Right.Rel):
+			kinds[i] = kindReuse
+		case have && po.Err == nil:
+			kinds[i] = kindRecount
+		default:
+			kinds[i] = kindFull
+		}
+	}
+	results := make([]joinCounts, len(joins))
+	_, csp := obs.StartSpan(ctx, "count-delta")
+	stats.ForEach(len(joins), o.Workers, func(i int) {
+		if kinds[i] == kindReuse {
+			po := prevOut[joins[i].Key()]
+			results[i] = joinCounts{nk: po.NK, nl: po.NL, nkl: po.NKL}
+			return
+		}
+		results[i] = countJoinOpts(db, joins[i], o.Stats)
+	})
+	csp.SetInt("joins", int64(len(joins)))
+	csp.End()
+	// Promote recounted joins with moved evidence (or a failed count) to
+	// a full re-decision.
+	for i, j := range joins {
+		if kinds[i] != kindRecount {
+			continue
+		}
+		po, c := prevOut[j.Key()], results[i]
+		if c.err != nil || c.nk != po.NK || c.nl != po.NL || c.nkl != po.NKL {
+			kinds[i] = kindFull
+		}
+	}
+	// Retract stale NEI concept relations of re-decided joins before any
+	// decision runs, so freed names cannot collide with the re-created
+	// ones and downstream phases never see the outdated extensions.
+	reescalated := 0
+	for i, j := range joins {
+		if kinds[i] != kindFull {
+			continue
+		}
+		po, have := prevOut[j.Key()]
+		if !have {
+			continue
+		}
+		reescalated++
+		if po.NewRelation != "" && db.Catalog().Has(po.NewRelation) {
+			if err := db.RemoveRelation(po.NewRelation); err != nil {
+				return nil, ds, err
+			}
+			if o.Stats != nil {
+				o.Stats.Invalidate(po.NewRelation)
+			}
+			delete(baseRows, po.NewRelation)
+		}
+	}
+
+	_, dsp := obs.StartSpan(ctx, "decide-delta")
+	res := &Result{INDs: deps.NewINDSet()}
+	for i, join := range joins {
+		if err := ctx.Err(); err != nil {
+			dsp.End()
+			return res, ds, fmt.Errorf("ind: cancelled after %d of %d joins: %w", i, len(joins), err)
+		}
+		c := results[i]
+		if kinds[i] == kindFull {
+			ds.Redecided++
+			if c.err != nil {
+				res.Outcomes = append(res.Outcomes, Outcome{Join: join, Case: CaseError, Err: c.err})
+				continue
+			}
+			res.ExtensionQueries += 3
+			out := decideJoin(db, join, c.nk, c.nl, c.nkl, oracle, o.Stats, res)
+			res.Outcomes = append(res.Outcomes, out)
+			continue
+		}
+		if kinds[i] == kindReuse {
+			ds.Reused++
+		} else {
+			ds.Recounted++
+			res.ExtensionQueries += 3
+		}
+		po := prevOut[join.Key()]
+		out := Outcome{Join: join, NK: po.NK, NL: po.NL, NKL: po.NKL, Case: po.Case, NewRelation: po.NewRelation}
+		for _, d := range po.Added {
+			if res.INDs.Add(d) {
+				out.Added = append(out.Added, d)
+			}
+		}
+		if po.Case == CaseNEINewRelation {
+			res.NewRelations = append(res.NewRelations, po.NewRelation)
+		}
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	dsp.SetInt("reused", int64(ds.Reused))
+	dsp.SetInt("recounted", int64(ds.Recounted))
+	dsp.SetInt("redecided", int64(ds.Redecided))
+	dsp.End()
+	tr.Add(obs.CtrINDsTested, int64(len(joins)))
+	tr.Add(obs.CtrINDsAccepted, int64(res.INDs.Len()))
+	tr.Add(obs.CtrDistinctQueries, int64(res.ExtensionQueries))
+	tr.Add(obs.CtrReescalations, int64(reescalated))
+	return res, ds, nil
+}

@@ -110,6 +110,20 @@ const (
 	CtrSnapshotSections
 	CtrWALRecordsReplayed
 	CtrWALRowsReplayed
+	// The incremental-discovery counters observe the live-mutation path
+	// (internal/core.Incremental, internal/stats delta reuse and the
+	// table epoch layer). CtrDeltaRefines counts projection builds
+	// served by extending a cached partition over the appended delta
+	// instead of refining from scratch; CtrEpochPins counts epoch
+	// snapshots pinned for consistent reads under concurrent ingest;
+	// CtrRevalidations counts incremental re-validation passes over a
+	// warm discovery state; CtrReescalations counts previously-settled
+	// FD/IND decisions a delta forced back to the exact kernels (and
+	// possibly the expert).
+	CtrDeltaRefines
+	CtrEpochPins
+	CtrRevalidations
+	CtrReescalations
 
 	numCounters
 )
@@ -144,6 +158,10 @@ var counterNames = [numCounters]string{
 	"snapshot-sections",
 	"wal-records-replayed",
 	"wal-rows-replayed",
+	"delta-refines",
+	"epoch-pins",
+	"revalidations",
+	"re-escalations",
 }
 
 // String returns the counter's stable exported name.

@@ -275,6 +275,23 @@ func (c *Catalog) Replace(s *Schema) error {
 	return nil
 }
 
+// Remove deletes the named relation from the catalog. The incremental
+// re-validation path uses it to retract an NEI concept relation whose
+// join was re-decided differently after a delta.
+func (c *Catalog) Remove(name string) error {
+	if _, ok := c.byName[name]; !ok {
+		return fmt.Errorf("relation: cannot remove unknown relation %q", name)
+	}
+	delete(c.byName, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
 // Get returns the schema with the given name.
 func (c *Catalog) Get(name string) (*Schema, bool) {
 	s, ok := c.byName[name]

@@ -16,7 +16,9 @@ import (
 	"sync"
 	"time"
 
+	"dbre/internal/core"
 	"dbre/internal/obs"
+	"dbre/internal/table"
 )
 
 // JobState is the lifecycle state of a job. Transitions are monotone:
@@ -90,6 +92,12 @@ type JobSpec struct {
 	// (checked after ingest against the loaded extension's footprint);
 	// it can never raise it. 0 keeps the server ceiling.
 	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// Incremental keeps the job's database and discovery state alive
+	// after the run: POST /jobs/{id}/append then batch-appends rows and
+	// re-validates the discovered dependencies against the delta only.
+	// Incremental jobs run discovery-only (no restructuring, no EER) so
+	// the retained state stays re-validatable.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // Limits bound what a single submission may ask for; the server derives
@@ -259,6 +267,11 @@ type job struct {
 	// done closes on the transition to a terminal state.
 	done chan struct{}
 
+	// runMu serializes the mutation path of an incremental job: one
+	// append-and-revalidate at a time, never concurrent with another.
+	// Held without j.mu; the two never nest the other way around.
+	runMu sync.Mutex
+
 	mu         sync.Mutex
 	state      JobState
 	err        string
@@ -268,6 +281,12 @@ type job struct {
 	traceJSON  []byte
 	eerDOT     string
 	doneAt     time.Time
+	// db and inc are the retained live database and warm discovery state
+	// of an incremental job (nil otherwise); epoch is db's epoch at the
+	// last quiescent point (initial run or completed append).
+	db    *table.Database
+	inc   *core.Incremental
+	epoch uint64
 }
 
 func newJob(id string, spec *JobSpec, cancel func()) *job {
@@ -330,17 +349,24 @@ type JobStatus struct {
 	// Progress is the live pipeline progress derived from the job's
 	// trace (present once the job has started).
 	Progress *obs.Progress `json:"progress,omitempty"`
+	// Incremental marks a job that accepts POST /jobs/{id}/append; Epoch
+	// is its database's epoch at the last quiescent point, advancing with
+	// every committed append (0 until the initial run finishes).
+	Incremental bool   `json:"incremental,omitempty"`
+	Epoch       uint64 `json:"epoch,omitempty"`
 }
 
 // status snapshots the job.
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	st := JobStatus{
-		ID:         j.id,
-		State:      j.state,
-		Error:      j.err,
-		Violations: j.violations,
-		Progress:   j.tracer.Progress(),
+		ID:          j.id,
+		State:       j.state,
+		Error:       j.err,
+		Violations:  j.violations,
+		Progress:    j.tracer.Progress(),
+		Incremental: j.spec.Incremental,
+		Epoch:       j.epoch,
 	}
 	j.mu.Unlock()
 	st.PendingQuestions = j.questions.pendingCount()

@@ -146,7 +146,10 @@ func (s *Server) execute(ctx context.Context, j *job, tracer *obs.Tracer) error 
 			if strings.TrimSpace(spec.SchemaSQL) != "" {
 				return fmt.Errorf("dataset %s is snapshot-backed and carries its own schema; schema_sql must be empty", spec.Dataset)
 			}
-			warm, info, err := storage.OpenCtx(ctx, dir, storage.Options{})
+			// Incremental jobs outlive this call and keep reading (and
+			// growing) the database, so their columns are materialized up
+			// front instead of lazily against the snapshot file.
+			warm, info, err := storage.OpenCtx(ctx, dir, storage.Options{Preload: spec.Incremental})
 			if err != nil {
 				return fmt.Errorf("opening snapshot dataset %s: %w", spec.Dataset, err)
 			}
@@ -215,6 +218,27 @@ func (s *Server) execute(ctx context.Context, j *job, tracer *obs.Tracer) error 
 		TransitiveClosure: !spec.NoClosure,
 		InferKeys:         spec.InferKeys,
 		Parallelism:       spec.Parallelism,
+	}
+	if spec.Incremental {
+		// Discovery-only, with the database and warm state retained on
+		// the job for POST /jobs/{id}/append.
+		inc, err := core.DiscoverIncrementalPrograms(ctx, db, spec.Programs, opts)
+		tracer.Finish()
+		if err != nil {
+			return err
+		}
+		var trace bytes.Buffer
+		if err := tracer.WriteJSON(&trace); err != nil {
+			return fmt.Errorf("rendering trace: %w", err)
+		}
+		j.mu.Lock()
+		j.reportText = inc.Report().Text()
+		j.traceJSON = trace.Bytes()
+		j.db = db
+		j.inc = inc
+		j.epoch = db.Epoch()
+		j.mu.Unlock()
+		return nil
 	}
 	rep, err := core.RunContext(ctx, db, spec.Programs, opts)
 	tracer.Finish()

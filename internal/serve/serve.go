@@ -17,6 +17,7 @@
 //	GET    /jobs/{id}/eer             EER schema as DOT      → 200 text/plain
 //	GET    /jobs/{id}/questions       expert dialogue so far → 200 [Question]
 //	POST   /jobs/{id}/questions/{qid} answer a question      → 200
+//	POST   /jobs/{id}/append          append rows, revalidate → 200 AppendStatus
 //	GET    /healthz                   liveness + queue stats → 200
 //
 // Status codes: 400 malformed or invalid submissions and answers, 404
@@ -169,6 +170,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /jobs/{id}/eer", s.handleEER)
 	s.mux.HandleFunc("GET /jobs/{id}/questions", s.handleQuestions)
 	s.mux.HandleFunc("POST /jobs/{id}/questions/{qid}", s.handleAnswer)
+	s.mux.HandleFunc("POST /jobs/{id}/append", s.handleAppend)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 }
 

@@ -1,6 +1,7 @@
 package stats_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"dbre/internal/ind"
 	"dbre/internal/stats"
 	"dbre/internal/table"
+	"dbre/internal/value"
 	"dbre/internal/workload"
 )
 
@@ -286,4 +288,71 @@ func renderINDs(r *ind.BaselineResult) string {
 		fmt.Fprintf(&b, "%s\n", d)
 	}
 	return b.String()
+}
+
+// TestDifferentialDeltaReuse gates the delta partition refinement: across
+// random workloads, a discovery state is grown through batch appends and
+// re-validated twice — once with delta extension of stale projections
+// enabled (the default), once with it disabled (every stale entry rebuilt
+// from scratch) — and the discovery artifacts must be byte-identical. The
+// enabled run must actually take the delta path (DeltaHits advances).
+func TestDifferentialDeltaReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	hits := uint64(0)
+	for i := 0; i < 8; i++ {
+		spec := randomSpec(rng, int64(1000+i))
+		// Composite references give the re-validation multi-attribute
+		// group vectors — the projections the delta path extends (stale
+		// single-attribute entries re-share the code vector for free and
+		// never need it).
+		if spec.CompositeDims == 0 {
+			spec.CompositeDims = 1
+		}
+		runOne := func(deltaReuse bool) (string, uint64) {
+			wl, err := workload.Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			cache := stats.NewCache(wl.DB)
+			cache.SetDeltaReuse(deltaReuse)
+			inc, err := core.DiscoverIncrementalPrograms(ctx, wl.DB, wl.Programs,
+				core.Options{Oracle: expert.NewAuto(), TransitiveClosure: true, Stats: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Clone the first rows of every fact relation with fresh key
+			// values: append-only growth that keeps every planted
+			// dependency in place.
+			for f := 0; f < spec.Facts; f++ {
+				tab := wl.DB.MustTable(fmt.Sprintf("F%d", f))
+				n := tab.Len()
+				delta := 1 + n/10
+				enc := table.NewChunkEncoder(tab)
+				for r := 0; r < delta; r++ {
+					row := append(table.Row(nil), tab.Row(r)...)
+					row[0] = value.NewInt(int64(n + r + 1))
+					if err := enc.AppendRow(row); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if v, err := tab.NewAppender().AppendBatch(enc, true); err != nil || v != 0 {
+					t.Fatalf("append F%d: violations=%d err=%v", f, v, err)
+				}
+			}
+			if _, err := inc.Revalidate(ctx); err != nil {
+				t.Fatal(err)
+			}
+			return stripTimings(inc.Report().Text()), cache.Metrics().DeltaHits
+		}
+		on, h := runOne(true)
+		off, _ := runOne(false)
+		if on != off {
+			t.Fatalf("spec %d: delta reuse changed the report:\n--- on\n%s\n--- off\n%s", i, on, off)
+		}
+		hits += h
+	}
+	if hits == 0 {
+		t.Error("delta extension never engaged across any workload")
+	}
 }

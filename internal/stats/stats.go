@@ -55,6 +55,7 @@ type Metrics struct {
 	Evictions     uint64
 	Invalidations uint64 // entries dropped through Invalidate[All]
 	PrefixHits    uint64 // projection builds started from a cached prefix partition
+	DeltaHits     uint64 // rebuilds served by extending the stale projection over the delta
 	Entries       int    // currently cached projections
 }
 
@@ -68,6 +69,15 @@ type entry struct {
 	once    sync.Once
 	proj    *table.Projection
 	err     error
+	// done flips after the build completed; getEntry reads it (outside
+	// once) to decide whether a stale entry's projection is safe to
+	// harvest as the base of a delta extension.
+	done atomic.Bool
+	// prev/prevRows seed the delta-refinement path: the predecessor
+	// entry's projection and the row count it was built over, installed
+	// by getEntry when the same table merely grew by appends.
+	prev     *table.Projection
+	prevRows int
 
 	groupsOnce sync.Once
 	groups     [][]int32 // group id → row indexes, derived on first FD use
@@ -122,8 +132,10 @@ type Cache struct {
 	tr *obs.Tracer
 
 	// prefixOff disables prefix-partition reuse when set (see build);
-	// atomic so the build path reads it without taking mu.
+	// atomic so the build path reads it without taking mu. deltaOff does
+	// the same for delta extension of stale entries.
 	prefixOff atomic.Bool
+	deltaOff  atomic.Bool
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -248,9 +260,24 @@ func (c *Cache) getEntry(tab *table.Table, rel string, attrs []string, external 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[k]
+	var prev *table.Projection
+	prevRows := 0
 	if ok && (e.tab != tab || e.version != tab.Version()) {
 		if external {
 			c.m.Stale++
+		}
+		// Harvest the stale projection as a delta-extension base when
+		// the table object is the same and merely grew by appends since
+		// the build. Every mutation path advances Version by exactly the
+		// net row growth, so Δversion == Δrows certifies that rows
+		// [0, prevRows) and the dictionary prefixes behind them are
+		// untouched — precisely what ExtendProjection requires. done
+		// gates against a build still in flight on the old entry.
+		if !c.deltaOff.Load() && e.tab == tab && e.done.Load() && e.err == nil && len(attrs) > 1 {
+			if pr := len(e.proj.RowGroup); tab.Len() > pr &&
+				tab.Version()-e.version == uint64(tab.Len()-pr) {
+				prev, prevRows = e.proj, pr
+			}
 		}
 		ok = false
 	}
@@ -268,7 +295,7 @@ func (c *Cache) getEntry(tab *table.Table, rel string, attrs []string, external 
 				}
 			}
 		}
-		e = &entry{tab: tab, version: tab.Version()}
+		e = &entry{tab: tab, version: tab.Version(), prev: prev, prevRows: prevRows}
 		c.entries[k] = e
 		return e, false
 	}
@@ -292,6 +319,24 @@ func (c *Cache) getEntry(tab *table.Table, rel string, attrs []string, external 
 // pair of every prefix entry on the same terms as the entry itself.
 func (c *Cache) build(e *entry, tab *table.Table, rel string, attrs []string) {
 	e.once.Do(func() {
+		defer e.done.Store(true)
+		// Delta extension: a harvested predecessor projection is refined
+		// over the appended rows only — O(groups + delta) instead of a
+		// table scan — bit-identical to the from-scratch build (see
+		// table/delta.go). A nil result falls through to the normal path.
+		if e.prev != nil {
+			if p := tab.ExtendProjection(attrs, e.prev, e.prevRows); p != nil {
+				e.proj = p
+				c.mu.Lock()
+				c.m.DeltaHits++
+				c.mu.Unlock()
+				c.tr.Add(obs.CtrDeltaRefines, 1)
+				c.tr.Add(obs.CtrRowsScanned, int64(tab.Len()-e.prevRows))
+				e.prev = nil
+				return
+			}
+			e.prev = nil
+		}
 		if len(attrs) > 1 && !c.prefixOff.Load() && tab.Engine() == table.EngineColumnar {
 			pe, hit := c.getEntry(tab, rel, attrs[:len(attrs)-1], false)
 			c.build(pe, tab, rel, attrs[:len(attrs)-1])
@@ -336,6 +381,14 @@ func (c *Cache) noteBuild(tab *table.Table, p *table.Projection) {
 // equivalence tests; results are identical either way.
 func (c *Cache) SetPrefixReuse(enabled bool) {
 	c.prefixOff.Store(!enabled)
+}
+
+// SetDeltaReuse toggles delta extension of stale entries (enabled by
+// default). Disabling it makes every post-append rebuild refine from
+// scratch — the differential tests use it to prove both paths produce
+// bit-identical projections, and the B16 ablation measures the gap.
+func (c *Cache) SetDeltaReuse(enabled bool) {
+	c.deltaOff.Store(!enabled)
 }
 
 // AcquireInts hands out an all-zero []int32 of length n from the
@@ -395,6 +448,18 @@ func (c *Cache) GroupVector(rel string, attrs []string) (rg []int32, groups, non
 		return nil, 0, 0, err
 	}
 	return e.proj.RowGroup, e.proj.Len(), e.proj.NonNull, nil
+}
+
+// GroupReps returns the memoized group-id → representative-row vector
+// of rel over attrs: for each group, the first row belonging to it. The
+// FD delta check compares appended rows against their group's
+// representative. The caller must treat the slice as read-only.
+func (c *Cache) GroupReps(rel string, attrs []string) ([]int32, error) {
+	e, err := c.lookup(rel, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return e.proj.Reps(), nil
 }
 
 // GroupSlices returns the memoized group id → row indexes view of the

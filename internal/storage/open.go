@@ -45,6 +45,10 @@ type OpenInfo struct {
 	Sections    int          // sections verified in the snapshot
 	LazyColumns int          // column sections still deferred at return
 	WAL         *ReplayStats // non-nil when a WAL was found and replayed
+	// Epoch is the restored database's epoch (the sum of per-table
+	// mutation versions after WAL replay) — the baseline an incremental
+	// discovery run over the reopened database starts from.
+	Epoch uint64
 
 	f        *os.File
 	mu       sync.Mutex
@@ -158,6 +162,7 @@ func OpenCtx(ctx context.Context, dir string, opt Options) (*table.Database, *Op
 	for _, s := range catalog.Schemas() {
 		info.LazyColumns += db.MustTable(s.Name).PendingColumns()
 	}
+	info.Epoch = db.Epoch()
 	ok = true
 	return db, info, nil
 }

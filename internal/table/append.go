@@ -228,7 +228,31 @@ func (a *Appender) AppendBatch(b *ChunkEncoder, strict bool) (violations int, er
 	if s := t.sketches.Load(); s != nil {
 		s.CatchUp()
 	}
+	// The batch lands on a consistent commit state whether it committed
+	// fully or rolled back: account its ApproxBytes delta and publish it
+	// as the new read epoch.
+	a.noteAppendBytes(base)
+	t.publishEpoch()
 	return violations, err
+}
+
+// noteAppendBytes applies the batch's ApproxBytes delta once the
+// constraint post-pass settled the surviving region: appended codes plus
+// the surviving new dictionary entries (value payload + interning-map
+// overhead, mirroring columnBytes). A no-op while the memo is invalid —
+// the next full ApproxBytes scan re-validates it.
+func (a *Appender) noteAppendBytes(base int) {
+	t := a.t
+	if !t.abytesValid {
+		return
+	}
+	d := int64(t.nrows-base) * int64(len(t.columns)) * 4
+	for ci := range t.columns {
+		for _, v := range t.columns[ci].dict[a.baseDict[ci]:] {
+			d += valueBytes(v) + 16
+		}
+	}
+	t.abytes += d
 }
 
 // appendRows is the row-engine fallback: the reference per-row path.

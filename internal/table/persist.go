@@ -351,6 +351,9 @@ func (t *Table) PendingColumns() int {
 // readers never pay for this; every mutation path (Insert,
 // InsertUnchecked, AppendBatch) calls it first.
 func (t *Table) ensureMutable() {
+	if t.frozen {
+		panic(fmt.Sprintf("table %s: mutating a frozen epoch snapshot", t.schema.Name))
+	}
 	if t.columns == nil || !t.internStale {
 		return
 	}

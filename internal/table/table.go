@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"dbre/internal/relation"
@@ -80,6 +81,17 @@ type Table struct {
 	// persist.go for both.
 	lazy        *lazyCols
 	internStale bool
+	// epoch is the last published read snapshot: a frozen clone sharing
+	// this table's immutable code/dictionary prefixes, republished at
+	// every AppendBatch commit point and cleared by the per-row insert
+	// paths. frozen marks such a clone; mutating it is a programming
+	// error. See epoch.go.
+	epoch  atomic.Pointer[Table]
+	frozen bool
+	// abytes memoizes ApproxBytes; valid only while abytesValid, kept
+	// current by per-append delta accounting (see epoch.go, append.go).
+	abytes      int64
+	abytesValid bool
 }
 
 // New creates an empty table for the given schema on the default
@@ -287,6 +299,7 @@ func (t *Table) Insert(row Row) error {
 		}
 		t.rows = append(t.rows, stored)
 		t.version++
+		t.noteRowMutation()
 		return nil
 	}
 	// Columnar engine: probe every constraint by dictionary code before
@@ -343,6 +356,7 @@ func (t *Table) Insert(row Row) error {
 		u.registerCodes(codes, at, &t.keyScratch)
 	}
 	t.version++
+	t.noteRowMutation()
 	return nil
 }
 
@@ -378,6 +392,15 @@ func (t *Table) InsertUnchecked(row Row) {
 		t.rows = append(t.rows, row.Clone())
 	}
 	t.version++
+	t.noteRowMutation()
+}
+
+// noteRowMutation records a per-row extension change: the memoized
+// ApproxBytes and the published epoch both describe a state that no
+// longer exists.
+func (t *Table) noteRowMutation() {
+	t.abytesValid = false
+	t.invalidateEpoch()
 }
 
 // Project returns the values of the given attributes for every tuple, in
@@ -599,6 +622,10 @@ type Projection struct {
 	strs map[string]int32
 	ints map[int64]int32
 	lazy *lazyDict // non-nil on the columnar engine
+	// repsV caches the group → representative-row vector (see
+	// delta.go Reps); repsOnce guards its concurrent derivation.
+	repsOnce sync.Once
+	repsV    []int32
 }
 
 // RefineSteps reports how many refinement steps this projection's build
@@ -1019,6 +1046,17 @@ func (db *Database) ReplaceRelation(s *relation.Schema) (*Table, error) {
 	return old, nil
 }
 
+// RemoveRelation drops a relation and its extension. Used by the
+// incremental re-validation path to retract NEI concept relations whose
+// join no longer supports them.
+func (db *Database) RemoveRelation(name string) error {
+	if err := db.catalog.Remove(name); err != nil {
+		return err
+	}
+	delete(db.tables, name)
+	return nil
+}
+
 // TotalRows reports the number of tuples across all relations.
 func (db *Database) TotalRows() int {
 	n := 0
@@ -1045,6 +1083,9 @@ func valueBytes(v value.Value) int64 {
 // capacity), intended for admission control — the job server's per-job
 // memory ceiling — not for accounting.
 func (t *Table) ApproxBytes() int64 {
+	if t.abytesValid {
+		return t.abytes
+	}
 	var b int64
 	for i := range t.columns {
 		// A deferred column section is costed from its restore metadata
@@ -1060,6 +1101,13 @@ func (t *Table) ApproxBytes() int64 {
 		for _, v := range r {
 			b += valueBytes(v)
 		}
+	}
+	// Memoize on the columnar engine once every column is resident (the
+	// batch appender then maintains the value by delta, see append.go).
+	// Frozen epochs stay un-memoized: they may be scanned concurrently,
+	// and writing the cache would race.
+	if t.columns != nil && !t.frozen && (t.lazy == nil || t.lazy.pending.Load() == 0) {
+		t.abytes, t.abytesValid = b, true
 	}
 	return b
 }

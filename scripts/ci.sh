@@ -2,8 +2,9 @@
 # CI entry point: formatting and vet gates, a documentation link check,
 # build, race-enabled tests (which include the differential equivalence
 # harness and the obs/stats/table allocation regressions), the storage
-# persistence/fault-injection suite, and a short fuzz smoke of the six
-# fuzz targets (parsers, loaders, sketches, snapshots). Run from the
+# persistence/fault-injection suite, and a short fuzz smoke of the seven
+# fuzz targets (parsers, loaders, sketches, snapshots, delta partition
+# refinement). Run from the
 # repository root; the GitHub Actions workflow (.github/workflows/ci.yml)
 # invokes exactly this script so local runs reproduce CI bit for bit.
 set -euo pipefail
@@ -25,6 +26,9 @@ go vet ./...
 echo "==> doc links"
 ./scripts/doclinks.sh
 
+echo "==> counter inventory vs DESIGN.md"
+./scripts/counterdocs.sh
+
 echo "==> go build"
 go build ./...
 
@@ -43,7 +47,7 @@ go test -race -count=1 ./internal/storage/...
 echo "==> allocation regressions (explicit, without -race instrumentation)"
 go test -run 'TestAlloc' ./internal/stats ./internal/obs ./internal/table
 
-echo "==> perf gate: B9/B12/B13/B14/B15 vs checked-in baselines"
+echo "==> perf gate: B9/B12/B13/B14/B15/B16 vs checked-in baselines"
 ./scripts/perfgate.sh
 
 echo "==> fuzz smoke: FuzzLoadSQL (${FUZZTIME})"
@@ -63,5 +67,8 @@ go test -run=^$ -fuzz='^FuzzSketchEstimate$' -fuzztime="${FUZZTIME}" ./internal/
 
 echo "==> fuzz smoke: FuzzSnapshotRoundTrip (${FUZZTIME})"
 go test -run=^$ -fuzz='^FuzzSnapshotRoundTrip$' -fuzztime="${FUZZTIME}" ./internal/storage
+
+echo "==> fuzz smoke: FuzzDeltaRefine (${FUZZTIME})"
+go test -run=^$ -fuzz='^FuzzDeltaRefine$' -fuzztime="${FUZZTIME}" ./internal/table
 
 echo "==> ci.sh: all green"

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Counter-inventory drift check: every counter name registered in
+# internal/obs/obs.go (the counterNames table) must appear as a
+# documented row in the DESIGN.md §5.2 inventory. The enum is closed, so
+# a counter added in code without its documentation row fails CI here —
+# the same bargain doclinks.sh strikes for markdown link targets. Run
+# from anywhere; exits non-zero listing every undocumented counter.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+# counterNames entries are the quoted strings between the array literal
+# and its closing brace.
+while IFS= read -r name; do
+  [ -n "$name" ] || continue
+  if ! grep -q "^| \`$name\` |" DESIGN.md; then
+    echo "counter \"$name\" is not documented in DESIGN.md §5.2" >&2
+    fail=1
+  fi
+done < <(sed -n '/^var counterNames = /,/^}/p' internal/obs/obs.go |
+  grep -o '"[a-z-]*"' | tr -d '"')
+
+if [ "$fail" -ne 0 ]; then
+  echo "counterdocs.sh: counter inventory drift between obs.go and DESIGN.md" >&2
+  exit 1
+fi
+echo "counterdocs.sh: all obs counters documented in DESIGN.md"
