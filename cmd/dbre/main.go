@@ -17,6 +17,7 @@
 //
 //	dbre -serve :8080 [-serve-workers n] [-job-ttl 1h]
 //	     [-max-job-bytes n] [-datasets dir] [-auto-answer 30s]
+//	     [-max-resident-bytes n] [-prewarm a,b|all]
 //
 // With -expert interactive the paper's expert-user dialogue runs on the
 // terminal; auto applies the default trust-the-extension policy.
@@ -60,6 +61,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -75,6 +77,19 @@ func main() {
 	}
 }
 
+// fmtBytes renders a byte count human-readably for boot logging.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
 // serveShutdown asks a running -serve instance to stop as if it had
 // received an interrupt; the smoke test uses it in place of a signal.
 var serveShutdown = make(chan struct{}, 1)
@@ -82,9 +97,28 @@ var serveShutdown = make(chan struct{}, 1)
 // runServe runs the discovery job server until interrupted, then shuts
 // down gracefully: the listener closes, in-flight jobs are cancelled and
 // the worker pool drains.
-func runServe(addr string, cfg dbre.ServerConfig, out io.Writer) error {
+func runServe(addr string, cfg dbre.ServerConfig, prewarm string, out io.Writer) error {
 	s := dbre.NewServer(cfg)
 	defer s.Close()
+
+	// Warm the resident pool before accepting jobs, so the first job on
+	// a prewarmed dataset pays no open latency.
+	if prewarm != "" {
+		var names []string
+		for _, n := range strings.Split(prewarm, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		results, err := s.Prewarm(context.Background(), names)
+		for _, r := range results {
+			fmt.Fprintf(out, "prewarmed dataset %s: %d relations, %d rows, %s resident in %s\n",
+				r.Dataset, r.Relations, r.Rows, fmtBytes(r.Bytes), r.Wall.Round(time.Millisecond))
+		}
+		if err != nil {
+			return fmt.Errorf("-prewarm: %w", err)
+		}
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -142,17 +176,20 @@ func run(args []string, out io.Writer) error {
 	maxJobBytes := fs.Int64("max-job-bytes", 0, "job server: per-job memory ceiling in bytes (0 = default 256MiB)")
 	datasets := fs.String("datasets", "", "job server: root directory of named server-side datasets")
 	autoAnswer := fs.Duration("auto-answer", 0, "job server: answer unattended expert questions with their defaults after this long (0 = wait)")
+	maxResident := fs.Int64("max-resident-bytes", 0, "job server: memory budget of the resident dataset pool (0 = default 1GiB, negative disables the pool)")
+	prewarm := fs.String("prewarm", "", "job server: comma-separated snapshot datasets to load into the resident pool at boot, or \"all\"")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *serveAddr != "" {
 		return runServe(*serveAddr, dbre.ServerConfig{
-			Workers:         *serveWorkers,
-			TTL:             *jobTTL,
-			MaxJobBytes:     *maxJobBytes,
-			DatasetRoot:     *datasets,
-			AutoAnswerAfter: *autoAnswer,
-		}, out)
+			Workers:          *serveWorkers,
+			TTL:              *jobTTL,
+			MaxJobBytes:      *maxJobBytes,
+			DatasetRoot:      *datasets,
+			AutoAnswerAfter:  *autoAnswer,
+			MaxResidentBytes: *maxResident,
+		}, *prewarm, out)
 	}
 	if *schema == "" && *fromSnap == "" {
 		fs.Usage()

@@ -403,3 +403,100 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("shutdown not announced:\n%s", out.String())
 	}
 }
+
+// TestServePrewarm boots the server with -prewarm against a dataset root
+// holding one snapshot, and checks the per-dataset warm log line and the
+// pool occupancy reported by GET /stats.
+func TestServePrewarm(t *testing.T) {
+	dir := fixtureDir(t)
+	root := filepath.Join(dir, "datasets")
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var save strings.Builder
+	if err := run([]string{
+		"-schema", filepath.Join(dir, "schema.sql"),
+		"-data", filepath.Join(dir, "data"),
+		"-snapshot", filepath.Join(root, "demo"),
+	}, &save); err != nil {
+		t.Fatal(err)
+	}
+
+	var out syncWriter
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-serve", "127.0.0.1:0",
+			"-datasets", root,
+			"-prewarm", "all",
+		}, &out)
+	}()
+
+	addrRe := regexp.MustCompile(`listening on (http://[^/\s]+)/jobs`)
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited before announcing its address: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen address announced:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "prewarmed dataset demo:") {
+		t.Errorf("prewarm not logged:\n%s", out.String())
+	}
+
+	r, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Pool struct {
+			Resident int `json:"resident"`
+			Misses   int `json:"misses"`
+			Datasets []struct {
+				Name string `json:"name"`
+				Rows int    `json:"rows"`
+			} `json:"datasets"`
+		} `json:"pool"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.Pool.Resident != 1 || len(st.Pool.Datasets) != 1 ||
+		st.Pool.Datasets[0].Name != "demo" || st.Pool.Datasets[0].Rows == 0 {
+		t.Errorf("pool stats after prewarm: %+v", st.Pool)
+	}
+	if st.Pool.Misses != 1 {
+		t.Errorf("prewarm counted %d pool misses, want 1", st.Pool.Misses)
+	}
+
+	serveShutdown <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatalf("serve mode exited with error: %v", err)
+	}
+}
+
+// TestServePrewarmRejectsUnknown pins the failure mode: naming a dataset
+// that is not snapshot-backed aborts the boot with a clear error.
+func TestServePrewarmRejectsUnknown(t *testing.T) {
+	root := t.TempDir()
+	var out syncWriter
+	err := run([]string{
+		"-serve", "127.0.0.1:0",
+		"-datasets", root,
+		"-prewarm", "nosuch",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no snapshot") {
+		t.Fatalf("prewarm of a missing dataset: err = %v", err)
+	}
+}

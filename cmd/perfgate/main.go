@@ -5,7 +5,9 @@
 // machines differ — and allocation metrics (keys ending in
 // "_allocs_per_op") are hard ceilings taken from the baseline verbatim,
 // because allocation counts are deterministic and a single regressed
-// alloc/op is a real kernel regression, not noise.
+// alloc/op is a real kernel regression, not noise. Results print as a
+// per-metric delta table (baseline → current, signed change, verdict)
+// in metric-name order, so two gate runs diff cleanly.
 //
 // Usage:
 //
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -45,6 +48,19 @@ func load(path, id string) (*result, error) {
 	return nil, fmt.Errorf("%s: no result for experiment %s", path, id)
 }
 
+// row is one line of the delta table.
+type row struct {
+	metric, base, cur, delta, verdict string
+}
+
+// delta renders the signed relative change from want to got.
+func delta(want, got float64) string {
+	if want == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(got-want)/want)
+}
+
 func main() {
 	id := flag.String("id", "B12", "experiment id to gate")
 	basePath := flag.String("baseline", "BENCH_B12.json", "checked-in baseline JSON")
@@ -65,36 +81,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
 		os.Exit(2)
 	}
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	failed := false
-	for name, want := range base.Metrics {
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		want := base.Metrics[name]
 		got, ok := cur.Metrics[name]
 		if !ok {
-			fmt.Printf("FAIL %s: metric %s missing from current run\n", *id, name)
+			rows = append(rows, row{name, fmt.Sprintf("%.4f", want), "missing", "n/a", "FAIL"})
 			failed = true
 			continue
 		}
+		r := row{metric: name, delta: delta(want, got)}
 		switch {
 		case strings.HasSuffix(name, "_ms"):
 			limit := want * *tolerance
+			r.base = fmt.Sprintf("%.3fms", want)
+			r.cur = fmt.Sprintf("%.3fms", got)
 			if got > limit {
-				fmt.Printf("FAIL %s: %s = %.3fms, over %.1fx tolerance of baseline %.3fms (limit %.3fms)\n",
-					*id, name, got, *tolerance, want, limit)
+				r.verdict = fmt.Sprintf("FAIL (limit %.3fms)", limit)
 				failed = true
 			} else {
-				fmt.Printf("ok   %s: %s = %.3fms (baseline %.3fms, limit %.3fms)\n", *id, name, got, want, limit)
+				r.verdict = fmt.Sprintf("ok (limit %.3fms)", limit)
 			}
 		case strings.HasSuffix(name, "_allocs_per_op"):
+			r.base = fmt.Sprintf("%.4f", want)
+			r.cur = fmt.Sprintf("%.4f", got)
 			if got > want {
-				fmt.Printf("FAIL %s: %s = %.4f, over hard ceiling %.4f\n", *id, name, got, want)
+				r.verdict = "FAIL (hard ceiling)"
 				failed = true
 			} else {
-				fmt.Printf("ok   %s: %s = %.4f (ceiling %.4f)\n", *id, name, got, want)
+				r.verdict = "ok (ceiling)"
 			}
 		default:
 			// Informational metrics (speedups, step counts) are recorded
 			// but not gated: they vary with hardware and scheduling.
-			fmt.Printf("info %s: %s = %.4f (baseline %.4f)\n", *id, name, got, want)
+			r.base = fmt.Sprintf("%.4f", want)
+			r.cur = fmt.Sprintf("%.4f", got)
+			r.verdict = "info"
 		}
+		rows = append(rows, r)
+	}
+	widths := [5]int{len("metric"), len("baseline"), len("current"), len("delta"), len("verdict")}
+	for _, r := range rows {
+		for i, s := range [5]string{r.metric, r.base, r.cur, r.delta, r.verdict} {
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	line := func(cells [5]string) {
+		fmt.Printf("%s  %-*s  %*s  %*s  %*s  %-*s\n", *id,
+			widths[0], cells[0], widths[1], cells[1], widths[2], cells[2],
+			widths[3], cells[3], widths[4], cells[4])
+	}
+	line([5]string{"metric", "baseline", "current", "delta", "verdict"})
+	for _, r := range rows {
+		line([5]string{r.metric, r.base, r.cur, r.delta, r.verdict})
 	}
 	if failed {
 		fmt.Printf("perfgate: %s REGRESSED\n", *id)

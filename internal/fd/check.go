@@ -101,7 +101,23 @@ const (
 // products on very wide group counts — the grouped legacy kernel takes
 // over; supports are identical to Check's on every path: the groups are
 // the same groups, the majority count the same count.
+//
+// The support itself is a pure function of the dependency at the
+// cache's commit point, so it is memoized through stats.SupportMemo: a
+// repeat of the same check — in particular a warm job delegating to the
+// resident pool's shared cache — skips the joint pass entirely and the
+// kernel runs once per commit point across every consumer.
 func CheckStats(cache *stats.Cache, rel string, lhs []string, rhs string) (expert.FDSupport, error) {
+	rows, violations, err := cache.SupportMemo(rel, lhs, rhs, func() (int, int, error) {
+		s, err := checkStatsKernel(cache, rel, lhs, rhs)
+		return s.Rows, s.Violations, err
+	})
+	return expert.FDSupport{Rows: rows, Violations: violations}, err
+}
+
+// checkStatsKernel is the dense joint-counting pass behind CheckStats,
+// falling back to the grouped legacy kernel on sparse products.
+func checkStatsKernel(cache *stats.Cache, rel string, lhs []string, rhs string) (expert.FDSupport, error) {
 	lg, nLHS, nonNull, err := cache.GroupVector(rel, lhs)
 	if err != nil {
 		return expert.FDSupport{}, err

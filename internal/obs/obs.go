@@ -124,6 +124,17 @@ const (
 	CtrEpochPins
 	CtrRevalidations
 	CtrReescalations
+	// The resident-pool counters observe the serving-layer dataset pool
+	// (internal/serve/pool.go). CtrPoolHits counts jobs served by an
+	// already-resident dataset; CtrPoolMisses counts jobs that had to
+	// open (or wait for the singleflight open of) a cold dataset;
+	// CtrPoolEvictions counts idle datasets evicted by the memory
+	// governor; CtrSharedCacheHits counts job lookups answered by a
+	// pool-shared stats cache entry another job already built.
+	CtrPoolHits
+	CtrPoolMisses
+	CtrPoolEvictions
+	CtrSharedCacheHits
 
 	numCounters
 )
@@ -162,6 +173,10 @@ var counterNames = [numCounters]string{
 	"epoch-pins",
 	"revalidations",
 	"re-escalations",
+	"pool-hits",
+	"pool-misses",
+	"pool-evictions",
+	"shared-cache-hits",
 }
 
 // String returns the counter's stable exported name.

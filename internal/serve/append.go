@@ -103,7 +103,15 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	defer j.runMu.Unlock()
 	j.mu.Lock()
 	db, inc := j.db, j.inc
+	ent := j.pool
 	j.mu.Unlock()
+	if ent != nil {
+		// Pooled jobs mutate the resident database other jobs of this
+		// dataset read; the entry's mutation lock serializes appends
+		// across sibling incremental jobs.
+		ent.mutMu.Lock()
+		defer ent.mutMu.Unlock()
+	}
 	if db == nil || inc == nil {
 		writeErr(w, http.StatusConflict, "job %s holds no incremental state", j.id)
 		return
@@ -188,5 +196,12 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	j.epoch = st.Epoch
 	j.doneAt = s.cfg.Clock() // a touched job restarts its TTL
 	j.mu.Unlock()
+	if ent != nil {
+		// Record the grown footprint and the new epoch on the pool
+		// entry. No cache invalidation is needed: the shared cache is
+		// epoch-pinned, so entries built over the pre-append commit
+		// point stay valid for it and extend by delta onto the new one.
+		s.pool.noteMutation(ent)
+	}
 	writeJSON(w, http.StatusOK, st)
 }

@@ -266,8 +266,10 @@ func TestE2ESnapshotDataset(t *testing.T) {
 	if cut(repWarm) != cut(repCold) {
 		t.Errorf("warm-boot report diverges from inline run:\nwarm:\n%s\ncold:\n%s", repWarm, repCold)
 	}
-	if !strings.Contains(repWarm, "open-snapshot") {
-		t.Error("warm run's trace lacks the open-snapshot span")
+	// With the resident pool the snapshot opens once, under the server
+	// tracer, so no job trace carries an open-snapshot span.
+	if strings.Contains(repWarm, "open-snapshot") {
+		t.Error("pooled warm run's trace carries the open-snapshot span; the open belongs to the pool")
 	}
 	if strings.Contains(repCold, "open-snapshot") {
 		t.Error("cold run's trace has an open-snapshot span")
@@ -361,8 +363,11 @@ func TestE2EOracleOverAPIMatchesOneShot(t *testing.T) {
 	join := deps.NewEquiJoin(deps.NewSide("emp", "dno"), deps.NewSide("dept", "dno"))
 	sc.NEI[join.Key()] = expert.NEIDecision{Action: expert.NEINewRelation, Name: "Workforce"}
 	sc.Default = expert.NewAuto()
+	// The submission omitted parallelism, so the server applied its
+	// default; the one-shot mirror must run at the same fan-out for the
+	// traces to line up (the discovery artifacts are identical either way).
 	rep, err := core.RunContext(ctx, db, map[string]string{"query.sql": e2eProgram},
-		core.Options{Oracle: sc, TransitiveClosure: true})
+		core.Options{Oracle: sc, TransitiveClosure: true, Parallelism: defaultParallelism(Limits{})})
 	if err != nil {
 		t.Fatal(err)
 	}

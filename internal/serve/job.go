@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -85,6 +86,9 @@ type JobSpec struct {
 	InclusionSlack   *float64 `json:"inclusion_slack,omitempty"`
 	MaxViolationRate *float64 `json:"max_violation_rate,omitempty"`
 	// InferKeys / NoClosure / Parallelism mirror the cmd/dbre flags.
+	// An omitted parallelism defaults to every core the server has
+	// (capped by the server's parallelism limit); an explicit 0 still
+	// selects the serial path.
 	InferKeys   bool `json:"infer_keys,omitempty"`
 	NoClosure   bool `json:"no_closure,omitempty"`
 	Parallelism int  `json:"parallelism,omitempty"`
@@ -132,10 +136,35 @@ func DecodeJobSpec(data []byte, lim Limits) (*JobSpec, error) {
 	if dec.More() {
 		return nil, errors.New("malformed job spec: trailing data after JSON object")
 	}
+	// Distinguish an omitted parallelism field (default: every core the
+	// server has) from an explicit 0 (the serial path). The strict
+	// decode above already proved data is one well-formed object, so
+	// the key probe cannot fail.
+	var fields map[string]json.RawMessage
+	_ = json.Unmarshal(data, &fields)
+	if _, ok := fields["parallelism"]; !ok {
+		spec.Parallelism = defaultParallelism(lim)
+	}
 	if err := spec.validate(lim); err != nil {
 		return nil, err
 	}
 	return spec, nil
+}
+
+// defaultParallelism is the fan-out applied when a submission omits the
+// parallelism field: all cores, capped by the server's configured
+// limit so the default can never exceed what an explicit value could
+// ask for.
+func defaultParallelism(lim Limits) int {
+	p := runtime.GOMAXPROCS(0)
+	maxPar := lim.MaxParallelism
+	if maxPar <= 0 {
+		maxPar = 256
+	}
+	if p > maxPar {
+		p = maxPar
+	}
+	return p
 }
 
 func (s *JobSpec) validate(lim Limits) error {
@@ -287,6 +316,13 @@ type job struct {
 	db    *table.Database
 	inc   *core.Incremental
 	epoch uint64
+	// pool is the resident pool entry an incremental job runs against
+	// (nil for one-shot and unpooled jobs); poolRelease drops the job's
+	// pin on it. One-shot jobs release inside execute; incremental jobs
+	// keep the entry pinned — the resident database is their live state
+	// — until the sweeper evicts the job.
+	pool        *poolEntry
+	poolRelease func()
 }
 
 func newJob(id string, spec *JobSpec, cancel func()) *job {

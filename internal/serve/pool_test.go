@@ -1,0 +1,249 @@
+// Tests of the resident dataset pool: the singleflight cold open under
+// a stampede of concurrent jobs, byte-identity of pooled reports with
+// the cold per-job path, cross-job reuse of the shared statistics
+// cache, the memory governor's pin safety, and invalidation of the
+// shared tier across incremental appends.
+package serve
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dbre/internal/sql/exec"
+	"dbre/internal/storage"
+)
+
+// snapshotRoot persists e2eSchema as the snapshot-backed dataset "warm"
+// under a fresh dataset root and returns the root.
+func snapshotRoot(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	db, errs := exec.LoadScript(e2eSchema)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	if err := storage.Snapshot(db, filepath.Join(root, "warm")); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// cutTrace drops the trace section: pooled and cold runs legitimately
+// differ there (the pool's open happens under the server tracer), while
+// every discovery artifact above it must match byte for byte.
+func cutTrace(s string) string {
+	if i := strings.Index(s, "\nTrace\n"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// report fetches a done job's report, failing the test otherwise.
+func (a *api) report(id string) string {
+	a.t.Helper()
+	code, rep := a.raw("/jobs/" + id + "/report")
+	if code != 200 {
+		a.t.Fatalf("report %s: status %d", id, code)
+	}
+	return rep
+}
+
+// TestPoolColdStampede throws K concurrent jobs at a cold dataset:
+// exactly one opens the snapshot (one pool miss, K-1 hits on the
+// in-flight entry), and every report is byte-identical to a run with
+// the pool disabled.
+func TestPoolColdStampede(t *testing.T) {
+	root := snapshotRoot(t)
+	const K = 8
+
+	// Reference: the cold per-job path, pool disabled.
+	_, tsCold := startServer(t, Config{DatasetRoot: root, MaxResidentBytes: -1})
+	cold := &api{t: t, base: tsCold.URL}
+	spec := JobSpec{Dataset: "warm", Programs: map[string]string{"q.sql": e2eProgram}}
+	ref := cold.waitTerminal(cold.submit(spec).ID)
+	if ref.State != StateDone {
+		t.Fatalf("cold reference job finished %s", ref.State)
+	}
+	want := cutTrace(cold.report(ref.ID))
+
+	s, ts := startServer(t, Config{DatasetRoot: root, Workers: K, QueueDepth: K})
+	c := &api{t: t, base: ts.URL}
+	ids := make([]string, K)
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct program names defeat submit dedup concerns and
+			// exercise per-job state without changing the discovery input.
+			st := c.submit(JobSpec{Dataset: "warm",
+				Programs: map[string]string{fmt.Sprintf("q%d.sql", i): e2eProgram}})
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if st := c.waitTerminal(id); st.State != StateDone {
+			t.Fatalf("job %s finished %s (%s)", id, st.State, st.Error)
+		}
+	}
+
+	ps := s.pool.snapshot()
+	if ps.Misses != 1 {
+		t.Errorf("pool misses = %d, want 1 (singleflight open)", ps.Misses)
+	}
+	if ps.Hits != K-1 {
+		t.Errorf("pool hits = %d, want %d", ps.Hits, K-1)
+	}
+	if ps.Resident != 1 {
+		t.Errorf("resident datasets = %d, want 1", ps.Resident)
+	}
+	for _, id := range ids {
+		if got := cutTrace(c.report(id)); got != want {
+			t.Fatalf("pooled report %s diverges from the cold run:\npooled:\n%s\ncold:\n%s", id, got, want)
+		}
+	}
+}
+
+// TestPoolSharedCacheReuse runs sequential jobs on one dataset and
+// checks the second one answers statistics lookups from the shared
+// cache the first one populated.
+func TestPoolSharedCacheReuse(t *testing.T) {
+	root := snapshotRoot(t)
+	s, ts := startServer(t, Config{DatasetRoot: root})
+	c := &api{t: t, base: ts.URL}
+
+	spec := JobSpec{Dataset: "warm", Programs: map[string]string{"q.sql": e2eProgram}}
+	first := c.waitTerminal(c.submit(spec).ID)
+	if first.State != StateDone {
+		t.Fatalf("first job finished %s", first.State)
+	}
+	// The first job already delegates its re-lookups to the shared tier;
+	// what the pool buys is the second job hitting entries it never built.
+	base := s.pool.snapshot()
+	if base.Datasets[0].CacheEntries == 0 {
+		t.Fatal("first job left the shared cache empty")
+	}
+	second := c.submit(JobSpec(spec))
+	if st := c.waitTerminal(second.ID); st.State != StateDone {
+		t.Fatalf("second job finished %s", st.State)
+	}
+	ps := s.pool.snapshot()
+	if ps.SharedCacheHits <= base.SharedCacheHits {
+		t.Errorf("second job on the dataset produced no shared cache hits (%d -> %d)",
+			base.SharedCacheHits, ps.SharedCacheHits)
+	}
+	if len(ps.Datasets) != 1 || ps.Datasets[0].CacheEntries == 0 {
+		t.Errorf("shared cache holds no entries after two jobs: %+v", ps.Datasets)
+	}
+	if got, want := cutTrace(c.report(second.ID)), cutTrace(c.report(first.ID)); got != want {
+		t.Errorf("cache-warm report diverges from the cache-cold one:\nwarm:\n%s\ncold:\n%s", got, want)
+	}
+}
+
+// TestPoolEvictionSparesPinned pins the governor's safety property: a
+// dataset with pinned consumers survives any budget pressure, and an
+// epoch view pinned before an eviction stays readable after it.
+func TestPoolEvictionSparesPinned(t *testing.T) {
+	root := snapshotRoot(t)
+	// A one-byte budget keeps every resident dataset permanently over
+	// budget, so the governor evicts at the first opportunity.
+	s, _ := startServer(t, Config{DatasetRoot: root, MaxResidentBytes: 1})
+
+	ent, err := s.pool.acquire(t.Context(), "warm", filepath.Join(root, "warm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := ent.db.PinEpoch()
+	wantRows := view.MustTable("emp").Len()
+
+	s.pool.govern(nil)
+	if ps := s.pool.snapshot(); ps.Resident != 1 || ps.Evictions != 0 {
+		t.Fatalf("governor touched a pinned dataset: %+v", ps)
+	}
+
+	s.pool.release(ent)
+	s.pool.govern(nil)
+	ps := s.pool.snapshot()
+	if ps.Resident != 0 || ps.Evictions != 1 {
+		t.Fatalf("idle over-budget dataset not evicted: %+v", ps)
+	}
+	// The view pinned before the eviction still reads its epoch — the
+	// pool dropped its reference, not the storage the view shares.
+	if got := view.MustTable("emp").Len(); got != wantRows {
+		t.Fatalf("pinned view reads %d rows after eviction, want %d", got, wantRows)
+	}
+	if n, err := view.MustTable("emp").DistinctCount([]string{"dno"}); err != nil || n != 3 {
+		t.Fatalf("pinned view scan after eviction: %d, %v; want 3", n, err)
+	}
+
+	// The next acquire reopens from disk: a fresh miss, not a hit.
+	ent2, err := s.pool.acquire(t.Context(), "warm", filepath.Join(root, "warm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.release(ent2)
+	if ps := s.pool.snapshot(); ps.Misses != 2 {
+		t.Fatalf("reacquire after eviction counted misses = %d, want 2", ps.Misses)
+	}
+}
+
+// TestPoolIncrementalAppend drives an incremental job through the pool:
+// the append mutates the resident database, the entry's epoch and
+// footprint advance, and a later one-shot job on the same dataset sees
+// the grown extension through the shared entry.
+func TestPoolIncrementalAppend(t *testing.T) {
+	root := snapshotRoot(t)
+	s, ts := startServer(t, Config{DatasetRoot: root})
+	c := &api{t: t, base: ts.URL}
+
+	inc := c.submit(JobSpec{Dataset: "warm", Incremental: true})
+	if st := c.waitTerminal(inc.ID); st.State != StateDone {
+		t.Fatalf("incremental job finished %s (%s)", st.State, st.Error)
+	}
+	before := s.pool.snapshot().Datasets[0]
+	if before.Dirty {
+		t.Fatal("entry dirty before any append")
+	}
+	if before.Pins == 0 {
+		t.Fatal("incremental job does not hold a pin on its entry")
+	}
+
+	var ast AppendStatus
+	code := c.do("POST", "/jobs/"+inc.ID+"/append", AppendRequest{
+		Relation: "emp",
+		CSV:      "eno,dno,ename\n4,2,dee\n5,3,eve\n",
+	}, &ast)
+	if code != 200 {
+		t.Fatalf("append: status %d", code)
+	}
+	after := s.pool.snapshot().Datasets[0]
+	if !after.Dirty || after.Epoch <= before.Epoch || after.Rows != before.Rows+2 {
+		t.Fatalf("append not reflected on the pool entry: before %+v, after %+v", before, after)
+	}
+	if ast.Epoch != after.Epoch {
+		t.Fatalf("append response epoch %d != entry epoch %d", ast.Epoch, after.Epoch)
+	}
+
+	// A one-shot job after the append reads the grown commit point: its
+	// report must match a cold run over the grown data, not the snapshot.
+	one := c.submit(JobSpec{Dataset: "warm", Programs: map[string]string{"q.sql": e2eProgram}})
+	if st := c.waitTerminal(one.ID); st.State != StateDone {
+		t.Fatalf("post-append job finished %s (%s)", st.State, st.Error)
+	}
+	rep := c.report(one.ID)
+	if !strings.Contains(rep, "emp") {
+		t.Fatalf("implausible report:\n%s", rep)
+	}
+	if ent, err := s.pool.acquire(t.Context(), "warm", filepath.Join(root, "warm")); err != nil {
+		t.Fatal(err)
+	} else {
+		if got := ent.db.MustTable("emp").Len(); got != 5 {
+			t.Fatalf("resident emp has %d rows after append, want 5", got)
+		}
+		s.pool.release(ent)
+	}
+}

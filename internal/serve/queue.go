@@ -22,6 +22,7 @@ import (
 	"dbre/internal/expert"
 	"dbre/internal/obs"
 	"dbre/internal/sql/exec"
+	"dbre/internal/stats"
 	"dbre/internal/storage"
 	"dbre/internal/table"
 )
@@ -131,6 +132,17 @@ func (s *Server) execute(ctx context.Context, j *job, tracer *obs.Tracer) error 
 	}
 
 	var db *table.Database
+	// poolEnt is the resident pool entry backing this job when the
+	// dataset is snapshot-backed and the pool is enabled; retain keeps
+	// its pin past this call (incremental jobs, whose live state IS the
+	// resident database).
+	var poolEnt *poolEntry
+	retain := false
+	defer func() {
+		if poolEnt != nil && !retain {
+			s.pool.release(poolEnt)
+		}
+	}()
 	violations := 0
 	switch {
 	case spec.Dataset != "":
@@ -146,9 +158,34 @@ func (s *Server) execute(ctx context.Context, j *job, tracer *obs.Tracer) error 
 			if strings.TrimSpace(spec.SchemaSQL) != "" {
 				return fmt.Errorf("dataset %s is snapshot-backed and carries its own schema; schema_sql must be empty", spec.Dataset)
 			}
-			// Incremental jobs outlive this call and keep reading (and
-			// growing) the database, so their columns are materialized up
-			// front instead of lazily against the snapshot file.
+			if s.pool != nil {
+				// Resident pool: the first job opens the snapshot, later
+				// jobs share the installed database and statistics cache.
+				ent, err := s.pool.acquire(ctx, spec.Dataset, dir)
+				if err != nil {
+					return fmt.Errorf("opening snapshot dataset %s: %w", spec.Dataset, err)
+				}
+				poolEnt = ent
+				if spec.Incremental {
+					// The job mutates the resident database itself, so its
+					// initial discovery must not interleave with appends
+					// from sibling jobs on the same dataset.
+					ent.mutMu.Lock()
+					defer ent.mutMu.Unlock()
+					db = ent.db
+				} else {
+					// One-shot jobs read a pinned epoch of the resident
+					// database: immutable under concurrent appends, and at
+					// the same commit point as the shared cache whenever
+					// the dataset is quiescent.
+					db = ent.db.PinEpoch()
+				}
+				break
+			}
+			// Pool disabled: cold per-job open. Incremental jobs outlive
+			// this call and keep reading (and growing) the database, so
+			// their columns are materialized up front instead of lazily
+			// against the snapshot file.
 			warm, info, err := storage.OpenCtx(ctx, dir, storage.Options{Preload: spec.Incremental})
 			if err != nil {
 				return fmt.Errorf("opening snapshot dataset %s: %w", spec.Dataset, err)
@@ -219,6 +256,16 @@ func (s *Server) execute(ctx context.Context, j *job, tracer *obs.Tracer) error 
 		InferKeys:         spec.InferKeys,
 		Parallelism:       spec.Parallelism,
 	}
+	if poolEnt != nil {
+		// Layered statistics: a job-local cache over the job's view of
+		// the database, reading through to the dataset's shared cache
+		// whenever both resolve a relation to the same commit point.
+		// Job-local mutations (restructuring replacements, stale pins)
+		// fall back to the local layer automatically.
+		child := stats.NewCache(db)
+		child.SetShared(poolEnt.cache)
+		opts.Stats = child
+	}
 	if spec.Incremental {
 		// Discovery-only, with the database and warm state retained on
 		// the job for POST /jobs/{id}/append.
@@ -237,6 +284,15 @@ func (s *Server) execute(ctx context.Context, j *job, tracer *obs.Tracer) error 
 		j.db = db
 		j.inc = inc
 		j.epoch = db.Epoch()
+		if poolEnt != nil {
+			// The retained live state is the resident database itself:
+			// keep the entry pinned (eviction never touches pinned
+			// datasets) until the sweeper evicts this job.
+			ent := poolEnt
+			j.pool = ent
+			j.poolRelease = func() { s.pool.release(ent) }
+			retain = true
+		}
 		j.mu.Unlock()
 		return nil
 	}
@@ -311,9 +367,16 @@ func (s *Server) sweep() {
 		j := s.jobs[id]
 		j.mu.Lock()
 		evict := j.state.Terminal() && !j.doneAt.IsZero() && now.Sub(j.doneAt) >= s.cfg.TTL
+		release := j.poolRelease
 		j.mu.Unlock()
 		if evict {
 			delete(s.jobs, id)
+			if release != nil {
+				// Drop the job's pin on its resident dataset; once every
+				// pin is gone the pool may evict the entry under memory
+				// pressure.
+				release()
+			}
 			continue
 		}
 		kept = append(kept, id)
@@ -361,12 +424,12 @@ type Stats struct {
 	// Submitted / Done are the lifetime counters; Running is the current
 	// gauge and PeakRunning its high-water mark, which can never exceed
 	// the configured worker count.
-	Submitted   int64
-	Done        int64
-	Running     int
-	PeakRunning int
+	Submitted   int64 `json:"submitted"`
+	Done        int64 `json:"done"`
+	Running     int   `json:"running"`
+	PeakRunning int   `json:"peak_running"`
 	// Stored is the number of jobs currently retained in the store.
-	Stored int
+	Stored int `json:"stored"`
 }
 
 // Stats snapshots the queue counters.

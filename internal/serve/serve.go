@@ -63,6 +63,13 @@ type Config struct {
 	// (one subdirectory of <relation>.csv files each); empty disables
 	// dataset jobs.
 	DatasetRoot string
+	// MaxResidentBytes budgets the resident dataset pool: the total
+	// table.ApproxBytes footprint of snapshot-backed datasets kept warm
+	// across jobs. Over budget, idle datasets shed their cached
+	// statistics and are then LRU-evicted (see pool.go). 0 applies the
+	// default (1 GiB); negative disables the pool, reverting snapshot
+	// jobs to the cold per-job open path.
+	MaxResidentBytes int64
 	// AutoAnswerAfter is the default api-expert fallback deadline; 0
 	// means questions wait until answered or the job is cancelled.
 	AutoAnswerAfter time.Duration
@@ -88,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.MaxResidentBytes == 0 {
+		c.MaxResidentBytes = 1 << 30
+	}
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
@@ -105,7 +115,10 @@ func (c Config) limits() Limits {
 type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
-	tracer *obs.Tracer // server-wide counters (serve-jobs-*, questions)
+	tracer *obs.Tracer // server-wide counters (serve-jobs-*, questions, pool-*)
+	// pool keeps snapshot-backed datasets resident across jobs; nil
+	// when disabled (no dataset root, or MaxResidentBytes < 0).
+	pool *pool
 
 	ctx       context.Context
 	cancelAll context.CancelFunc
@@ -132,6 +145,9 @@ func New(cfg Config) *Server {
 		cancelAll: cancel,
 		queue:     make(chan *job, cfg.QueueDepth),
 		jobs:      make(map[string]*job),
+	}
+	if cfg.DatasetRoot != "" && cfg.MaxResidentBytes >= 0 {
+		s.pool = newPool(cfg.MaxResidentBytes, s.tracer)
 	}
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
@@ -172,6 +188,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /jobs/{id}/questions/{qid}", s.handleAnswer)
 	s.mux.HandleFunc("POST /jobs/{id}/append", s.handleAppend)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
 }
 
 // writeJSON renders one JSON response.
@@ -374,4 +391,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"done":      st.Done,
 		"stored":    st.Stored,
 	})
+}
+
+// handleStats implements GET /stats: the queue counters plus — when the
+// resident pool is enabled — its occupancy and effectiveness.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"jobs": s.Stats()}
+	if s.pool != nil {
+		out["pool"] = s.pool.snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
 }

@@ -56,6 +56,7 @@ type Metrics struct {
 	Invalidations uint64 // entries dropped through Invalidate[All]
 	PrefixHits    uint64 // projection builds started from a cached prefix partition
 	DeltaHits     uint64 // rebuilds served by extending the stale projection over the delta
+	SharedHits    uint64 // delegated lookups answered by an entry another consumer built
 	Entries       int    // currently cached projections
 }
 
@@ -81,6 +82,19 @@ type entry struct {
 
 	groupsOnce sync.Once
 	groups     [][]int32 // group id → row indexes, derived on first FD use
+}
+
+// memoEntry is one memoized derived scalar pair — the (rows, violations)
+// support of an FD check at a fixed commit point. Like entry it is built
+// at most once and validated by its (tab, version) pair; unlike entry it
+// is O(1)-sized, so memos are bounded by the candidate space of the
+// workload rather than the projection entry cap.
+type memoEntry struct {
+	tab     *table.Table
+	version uint64
+	once    sync.Once
+	a, b    int
+	err     error
 }
 
 // groupSlices materializes the group id → row indexes view of the
@@ -115,31 +129,76 @@ func (e *entry) groupSlices() [][]int32 {
 	return e.groups
 }
 
+// numShards fixes the entry-map shard count. Sharding exists for the
+// job server's resident dataset pool, where one cache is the shared hot
+// read path of many concurrent jobs: a single mutex serializes every
+// lookup of every job, while 16 shards keep the hit path — one short
+// critical section on 1/16th of the key space — embarrassingly parallel
+// (BenchmarkCacheConcurrentHits measures the gap). 16 is deliberately
+// modest: the per-cache fixed cost is 16 empty maps, and single-job
+// caches (the common case) see no behavior change.
+const numShards = 16
+
+// cacheShard is one slice of the entry map with its own lock. memos
+// shares the shard's key space and lock but not its eviction bound —
+// memo values are two ints, so dropping them buys back no memory worth
+// the bookkeeping; they leave through Invalidate[All] with everything
+// else.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	memos   map[string]*memoEntry
+}
+
+// counters are the internal atomic mirrors of Metrics, updated without
+// any shard lock so the shared hit path stays contention-free.
+type counters struct {
+	hits, misses, stale, evictions atomic.Uint64
+	invalidations, prefixHits      atomic.Uint64
+	deltaHits, sharedHits          atomic.Uint64
+	// nentries tracks the live entry count across shards for the
+	// eviction bound without summing map lengths on every insert.
+	nentries atomic.Int64
+}
+
 // Cache memoizes projection indexes for the relations of one database.
 // It is safe for concurrent use; builds of distinct projections proceed
 // in parallel, duplicate requests for the same projection coalesce.
 // Tables themselves are not synchronized — as everywhere else in the
 // engine, mutating a table concurrently with reads (cached or not) is
 // the caller's race; the pipeline only mutates between counting phases.
+// The exception is an epoch-pinned cache (SetEpochPinned), whose every
+// lookup resolves relations through Table.PinEpoch and therefore reads
+// frozen commit points that are safe under concurrent AppendBatch.
 type Cache struct {
-	db  *table.Database
-	max int
+	db *table.Database
+	// max bounds the entry count across all shards; ≤ 0 is unbounded.
+	max atomic.Int64
 	// tr mirrors cache effectiveness into the run's observability
 	// counters (hits, misses, rows scanned, partition refinements).
 	// Nil — the default — makes every increment a no-op comparison, so
 	// untraced consumers pay nothing; set it before the cache is shared
 	// across goroutines (the pipeline sets it before any phase runs).
 	tr *obs.Tracer
+	// parent, when set, is the shared read-through tier: lookups whose
+	// local table resolution matches the parent's resolution of the same
+	// relation (same commit point of the same append-only history) are
+	// answered from — and built into — the parent, so concurrent
+	// consumers over pinned views of one resident database share one
+	// warm projection store. Set before the cache is handed to
+	// consumers; one level only (a parent's parent is never consulted).
+	parent *Cache
 
 	// prefixOff disables prefix-partition reuse when set (see build);
-	// atomic so the build path reads it without taking mu. deltaOff does
-	// the same for delta extension of stale entries.
+	// atomic so the build path reads it without locking. deltaOff does
+	// the same for delta extension of stale entries. epochPin makes
+	// every table resolution pin the relation's current epoch.
 	prefixOff atomic.Bool
 	deltaOff  atomic.Bool
+	epochPin  atomic.Bool
 
-	mu      sync.Mutex
-	entries map[string]*entry
-	m       Metrics
+	shards [numShards]cacheShard
+	c      counters
 
 	// arena is the cache-owned pool of reusable []int32 scratch buffers
 	// handed out by AcquireInts; every pooled buffer is all-zero across
@@ -150,7 +209,23 @@ type Cache struct {
 
 // NewCache creates a cache over db with the default entry bound.
 func NewCache(db *table.Database) *Cache {
-	return &Cache{db: db, max: DefaultMaxEntries, entries: make(map[string]*entry)}
+	c := &Cache{db: db}
+	c.max.Store(DefaultMaxEntries)
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry)
+		c.shards[i].memos = make(map[string]*memoEntry)
+	}
+	return c
+}
+
+// shardFor routes a key to its shard (FNV-1a over the key bytes).
+func (c *Cache) shardFor(k string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return &c.shards[h%numShards]
 }
 
 // SetTracer mirrors the cache's effectiveness counters into an
@@ -164,25 +239,65 @@ func (c *Cache) SetTracer(tr *obs.Tracer) {
 
 // SetMaxEntries adjusts the memory bound; n < 1 means unbounded.
 func (c *Cache) SetMaxEntries(n int) {
-	c.mu.Lock()
-	c.max = n
-	c.mu.Unlock()
+	c.max.Store(int64(n))
+}
+
+// SetEpochPinned makes the cache resolve every relation through
+// Table.PinEpoch: lookups then read the relation's last batch commit
+// point instead of the live table, which is what lets the job server
+// share one cache across jobs while an incremental job keeps appending
+// to the resident database. Entries are keyed by the frozen clone they
+// were built over, so an epoch republication (the append commit) makes
+// older entries stale on the usual (pointer, version) terms — and the
+// delta-harvest path recognizes two epochs of one history and extends
+// instead of rebuilding.
+func (c *Cache) SetEpochPinned(on bool) {
+	c.epochPin.Store(on)
+}
+
+// SetShared installs parent as the cache's shared read-through tier;
+// see the field comment for the delegation contract. Call before the
+// cache is handed to consumers.
+func (c *Cache) SetShared(parent *Cache) {
+	c.parent = parent
 }
 
 // Metrics returns a snapshot of the effectiveness counters.
 func (c *Cache) Metrics() Metrics {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	m := c.m
-	m.Entries = len(c.entries)
+	m := Metrics{
+		Hits:          c.c.hits.Load(),
+		Misses:        c.c.misses.Load(),
+		Stale:         c.c.stale.Load(),
+		Evictions:     c.c.evictions.Load(),
+		Invalidations: c.c.invalidations.Load(),
+		PrefixHits:    c.c.prefixHits.Load(),
+		DeltaHits:     c.c.deltaHits.Load(),
+		SharedHits:    c.c.sharedHits.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		m.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
 	return m
+}
+
+// table resolves a relation to the extension state this cache reads:
+// the live table, or its pinned epoch when SetEpochPinned is on.
+func (c *Cache) table(rel string) (*table.Table, bool) {
+	t, ok := c.db.Table(rel)
+	if ok && c.epochPin.Load() {
+		t = t.PinEpoch()
+	}
+	return t, ok
 }
 
 // TableFor resolves the current table of a relation (nil when unknown).
 // Consumers handed a *Table directly (key inference) use it to confirm
 // the cache and they are looking at the same extension.
 func (c *Cache) TableFor(rel string) *table.Table {
-	t, _ := c.db.Table(rel)
+	t, _ := c.table(rel)
 	return t
 }
 
@@ -193,7 +308,7 @@ func (c *Cache) TableFor(rel string) *table.Table {
 // work is published as the sketch-build counter on the cache's tracer.
 // Safe for concurrent callers (the counting fan-outs hit it per worker).
 func (c *Cache) Sketches(rel string) (*table.TableSketches, error) {
-	tab, ok := c.db.Table(rel)
+	tab, ok := c.table(rel)
 	if !ok {
 		return nil, fmt.Errorf("stats: unknown relation %q", rel)
 	}
@@ -239,14 +354,53 @@ func keyPrefix(rel string) string {
 // lookup returns the valid projection entry for (rel, attrs), building
 // it on demand. The double-checked (pointer, version) test is the
 // invalidation hook: any mutation since the build forces a rebuild.
+//
+// With a shared parent installed, the lookup first checks whether the
+// parent resolves the relation to the same commit point this cache
+// reads; if so the parent answers (and caches) the lookup, so every
+// consumer over the same resident data shares one projection store.
+// Relations the parent does not know (NEI conceptualization, restruct
+// splits against a job's pinned view) and resolutions that drifted (the
+// job pinned an older epoch than the parent now serves) fall through to
+// the local store — consistency by construction, no invalidation
+// choreography between tiers.
 func (c *Cache) lookup(rel string, attrs []string) (*entry, error) {
-	tab, ok := c.db.Table(rel)
+	tab, ok := c.table(rel)
 	if !ok {
 		return nil, fmt.Errorf("stats: unknown relation %q", rel)
 	}
-	e, _ := c.getEntry(tab, rel, attrs, true)
+	if p := c.parent; p != nil {
+		if pt, ok := p.table(rel); ok && sameCommitPoint(pt, tab) {
+			return p.lookupIn(pt, rel, attrs, true)
+		}
+	}
+	return c.lookupIn(tab, rel, attrs, false)
+}
+
+// lookupIn is lookup against an already-resolved table. shared marks a
+// delegated lookup from a child cache, which feeds the shared-hit
+// counters when it lands on an entry some other consumer already built.
+func (c *Cache) lookupIn(tab *table.Table, rel string, attrs []string, shared bool) (*entry, error) {
+	e, hit := c.getEntry(tab, rel, attrs, true)
+	if shared && hit {
+		c.c.sharedHits.Add(1)
+		c.tr.Add(obs.CtrSharedCacheHits, 1)
+	}
 	c.build(e, tab, rel, attrs)
 	return e, e.err
+}
+
+// sameCommitPoint reports whether two resolutions of one relation view
+// the same extension state: the same table object, or two commit points
+// of the same append-only history (same epoch origin) at the same
+// version. Version advances by exactly the net row growth on every
+// mutation path, so equal versions of one history are the same rows.
+func sameCommitPoint(a, b *table.Table) bool {
+	if a == b {
+		return true
+	}
+	return a != nil && b != nil &&
+		a.EpochOrigin() == b.EpochOrigin() && a.Version() == b.Version()
 }
 
 // getEntry returns the cache slot for (rel, attrs), installing a fresh
@@ -257,23 +411,30 @@ func (c *Cache) lookup(rel string, attrs []string) (*entry, error) {
 // own counter).
 func (c *Cache) getEntry(tab *table.Table, rel string, attrs []string, external bool) (*entry, bool) {
 	k := key(rel, attrs)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[k]
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	fresh := e == nil
 	var prev *table.Projection
 	prevRows := 0
 	if ok && (e.tab != tab || e.version != tab.Version()) {
 		if external {
-			c.m.Stale++
+			c.c.stale.Add(1)
 		}
 		// Harvest the stale projection as a delta-extension base when
-		// the table object is the same and merely grew by appends since
-		// the build. Every mutation path advances Version by exactly the
-		// net row growth, so Δversion == Δrows certifies that rows
-		// [0, prevRows) and the dictionary prefixes behind them are
-		// untouched — precisely what ExtendProjection requires. done
-		// gates against a build still in flight on the old entry.
-		if !c.deltaOff.Load() && e.tab == tab && e.done.Load() && e.err == nil && len(attrs) > 1 {
+		// the table merely grew by appends since the build: either the
+		// same table object, or a later commit point of the same
+		// append-only history (two frozen epochs with one origin — the
+		// shared-cache case, where the resident table republishes its
+		// epoch at every append commit). Every mutation path advances
+		// Version by exactly the net row growth, so Δversion == Δrows
+		// certifies that rows [0, prevRows) and the dictionary prefixes
+		// behind them are untouched — precisely what ExtendProjection
+		// requires. done gates against a build still in flight on the
+		// old entry.
+		if !c.deltaOff.Load() && e.done.Load() && e.err == nil && len(attrs) > 1 &&
+			(e.tab == tab || e.tab.EpochOrigin() == tab.EpochOrigin()) {
 			if pr := len(e.proj.RowGroup); tab.Len() > pr &&
 				tab.Version()-e.version == uint64(tab.Len()-pr) {
 				prev, prevRows = e.proj, pr
@@ -283,27 +444,66 @@ func (c *Cache) getEntry(tab *table.Table, rel string, attrs []string, external 
 	}
 	if !ok {
 		if external {
-			c.m.Misses++
+			c.c.misses.Add(1)
 			c.tr.Add(obs.CtrStatsMisses, 1)
 		}
-		if c.max > 0 {
-			for len(c.entries) >= c.max {
-				for victim := range c.entries {
-					delete(c.entries, victim)
-					c.m.Evictions++
-					break
-				}
-			}
+		if fresh {
+			c.evictFor(s)
+			c.c.nentries.Add(1)
 		}
 		e = &entry{tab: tab, version: tab.Version(), prev: prev, prevRows: prevRows}
-		c.entries[k] = e
+		s.entries[k] = e
 		return e, false
 	}
 	if external {
-		c.m.Hits++
+		c.c.hits.Add(1)
 		c.tr.Add(obs.CtrStatsHits, 1)
 	}
 	return e, true
+}
+
+// evictFor enforces the global entry bound before an insert into shard
+// s (whose lock the caller holds): while at the bound, drop arbitrary
+// entries — from s when it has any, otherwise from whichever other
+// shard a TryLock probe reaches. Skipping contended shards keeps the
+// bound approximate under concurrency and exact when quiet; eviction
+// never changes results, only their cost.
+func (c *Cache) evictFor(s *cacheShard) {
+	max := c.max.Load()
+	if max <= 0 {
+		return
+	}
+	for c.c.nentries.Load() >= max {
+		if !c.evictOne(s) {
+			return
+		}
+	}
+}
+
+// evictOne drops one arbitrary entry, preferring the locked shard s;
+// reports whether a victim was found.
+func (c *Cache) evictOne(s *cacheShard) bool {
+	for k := range s.entries {
+		delete(s.entries, k)
+		c.c.nentries.Add(-1)
+		c.c.evictions.Add(1)
+		return true
+	}
+	for i := range c.shards {
+		o := &c.shards[i]
+		if o == s || !o.mu.TryLock() {
+			continue
+		}
+		for k := range o.entries {
+			delete(o.entries, k)
+			c.c.nentries.Add(-1)
+			c.c.evictions.Add(1)
+			o.mu.Unlock()
+			return true
+		}
+		o.mu.Unlock()
+	}
+	return false
 }
 
 // build materializes the entry's projection, once. On the columnar
@@ -327,9 +527,7 @@ func (c *Cache) build(e *entry, tab *table.Table, rel string, attrs []string) {
 		if e.prev != nil {
 			if p := tab.ExtendProjection(attrs, e.prev, e.prevRows); p != nil {
 				e.proj = p
-				c.mu.Lock()
-				c.m.DeltaHits++
-				c.mu.Unlock()
+				c.c.deltaHits.Add(1)
 				c.tr.Add(obs.CtrDeltaRefines, 1)
 				c.tr.Add(obs.CtrRowsScanned, int64(tab.Len()-e.prevRows))
 				e.prev = nil
@@ -344,9 +542,7 @@ func (c *Cache) build(e *entry, tab *table.Table, rel string, attrs []string) {
 				e.proj, e.err = tab.ProjectionFrom(pe.proj, len(attrs)-1, attrs)
 				if e.err == nil {
 					if hit {
-						c.mu.Lock()
-						c.m.PrefixHits++
-						c.mu.Unlock()
+						c.c.prefixHits.Add(1)
 						c.tr.Add(obs.CtrPrefixHits, 1)
 					}
 					c.noteBuild(tab, e.proj)
@@ -448,6 +644,56 @@ func (c *Cache) GroupVector(rel string, attrs []string) (rg []int32, groups, non
 		return nil, 0, 0, err
 	}
 	return e.proj.RowGroup, e.proj.Len(), e.proj.NonNull, nil
+}
+
+// SupportMemo returns the memoized (rows, violations) support of the
+// dependency lhs → rhs over rel at the cache's current commit point,
+// running compute at most once per commit point. The memo is validated
+// on the same (pointer, version) terms as projection entries, so any
+// mutation since the computation forces a recompute; with a shared
+// parent installed, commit-point-matched lookups are answered from —
+// and computed into — the parent, which is what lets warm jobs on a
+// resident dataset answer every RHS-Discovery extension check without
+// touching a row. The key appends rhs to lhs; since rhs is always the
+// single final segment, distinct dependencies cannot collide.
+func (c *Cache) SupportMemo(rel string, lhs []string, rhs string, compute func() (rows, violations int, err error)) (int, int, error) {
+	tab, ok := c.table(rel)
+	if !ok {
+		return 0, 0, fmt.Errorf("stats: unknown relation %q", rel)
+	}
+	if p := c.parent; p != nil {
+		if pt, ok := p.table(rel); ok && sameCommitPoint(pt, tab) {
+			return p.supportMemoIn(pt, rel, lhs, rhs, compute, true)
+		}
+	}
+	return c.supportMemoIn(tab, rel, lhs, rhs, compute, false)
+}
+
+// supportMemoIn is SupportMemo against an already-resolved table; shared
+// marks a delegated lookup from a child cache, which feeds the
+// shared-hit counters when it lands on a memo some other consumer
+// computed. compute runs outside the shard lock (it re-enters the cache
+// for group vectors); duplicates coalesce on the memo's once.
+func (c *Cache) supportMemoIn(tab *table.Table, rel string, lhs []string, rhs string, compute func() (int, int, error), shared bool) (int, int, error) {
+	attrs := make([]string, 0, len(lhs)+1)
+	attrs = append(append(attrs, lhs...), rhs)
+	k := key(rel, attrs)
+	s := c.shardFor(k)
+	s.mu.Lock()
+	m, ok := s.memos[k]
+	if ok && (m.tab != tab || m.version != tab.Version()) {
+		ok = false
+	}
+	if !ok {
+		m = &memoEntry{tab: tab, version: tab.Version()}
+		s.memos[k] = m
+	} else if shared {
+		c.c.sharedHits.Add(1)
+		c.tr.Add(obs.CtrSharedCacheHits, 1)
+	}
+	s.mu.Unlock()
+	m.once.Do(func() { m.a, m.b, m.err = compute() })
+	return m.a, m.b, m.err
 }
 
 // GroupReps returns the memoized group-id → representative-row vector
@@ -666,21 +912,37 @@ func (c *Cache) ContainedIn(relK string, ak []string, relL string, al []string) 
 // explicit invalidation hook for callers that just mutated it.
 func (c *Cache) Invalidate(rel string) {
 	prefix := keyPrefix(rel)
-	c.mu.Lock()
-	for k := range c.entries {
-		if strings.HasPrefix(k, prefix) {
-			delete(c.entries, k)
-			c.m.Invalidations++
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.entries {
+			if strings.HasPrefix(k, prefix) {
+				delete(s.entries, k)
+				c.c.nentries.Add(-1)
+				c.c.invalidations.Add(1)
+			}
 		}
+		for k := range s.memos {
+			if strings.HasPrefix(k, prefix) {
+				delete(s.memos, k)
+			}
+		}
+		s.mu.Unlock()
 	}
-	c.mu.Unlock()
 }
 
 // InvalidateAll drops every cached projection — called by the pipeline
-// after schema-restructuring migrations touch many relations at once.
+// after schema-restructuring migrations touch many relations at once,
+// and by the pool's memory governor to shed an idle dataset's entries.
 func (c *Cache) InvalidateAll() {
-	c.mu.Lock()
-	c.m.Invalidations += uint64(len(c.entries))
-	c.entries = make(map[string]*entry)
-	c.mu.Unlock()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n := len(s.entries)
+		s.entries = make(map[string]*entry)
+		s.memos = make(map[string]*memoEntry)
+		c.c.nentries.Add(int64(-n))
+		c.c.invalidations.Add(uint64(n))
+		s.mu.Unlock()
+	}
 }

@@ -11,7 +11,7 @@ import (
 )
 
 // twoRelations builds a database with R(a,b,c) and S(x,y), R.a ⊆ S.x.
-func twoRelations(t *testing.T) *table.Database {
+func twoRelations(t testing.TB) *table.Database {
 	t.Helper()
 	r := relation.MustSchema("R", []relation.Attribute{
 		{Name: "a", Type: value.KindInt},

@@ -46,6 +46,7 @@ func (t *Table) freeze() *Table {
 		nrows:       n,
 		version:     t.version,
 		frozen:      true,
+		origin:      t,
 		abytes:      t.abytes,
 		abytesValid: t.abytesValid,
 	}
@@ -83,6 +84,19 @@ func (t *Table) PinEpoch() *Table {
 
 // Frozen reports whether the table is an immutable epoch snapshot.
 func (t *Table) Frozen() bool { return t.frozen }
+
+// EpochOrigin identifies the append-only history a table belongs to: the
+// live table a frozen clone was cut from, or the table itself when live.
+// Two tables with the same origin are commit points of one history, so a
+// version delta that equals the row delta certifies that the newer view
+// is the older view plus appended rows — the certificate the stats cache
+// uses to extend projections across epoch republications.
+func (t *Table) EpochOrigin() *Table {
+	if t.origin != nil {
+		return t.origin
+	}
+	return t
+}
 
 // invalidateEpoch drops the published snapshot; the per-row mutation
 // paths call it because they commit after every single row, which is

@@ -88,6 +88,14 @@ type Table struct {
 	// error. See epoch.go.
 	epoch  atomic.Pointer[Table]
 	frozen bool
+	// origin points a frozen clone back at the live table it was frozen
+	// from; nil on live tables. Two frozen epochs with the same origin
+	// are commit points of one append-only history, which is what lets
+	// the stats cache delta-harvest a projection built over an older
+	// epoch into a newer one (stats.getEntry) and lets a shared cache
+	// recognize that a job's pinned view matches its own resolution of
+	// the same relation.
+	origin *Table
 	// abytes memoizes ApproxBytes; valid only while abytesValid, kept
 	// current by per-append delta accounting (see epoch.go, append.go).
 	abytes      int64

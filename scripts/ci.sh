@@ -38,6 +38,9 @@ go test -race ./...
 echo "==> job server: e2e + concurrency suite under -race (explicit)"
 go test -race -count=1 ./internal/serve/...
 
+echo "==> job server: resident pool stampede/eviction/append suite under -race (explicit)"
+go test -race -count=1 -run 'TestPool' ./internal/serve
+
 echo "==> job server: CLI start/submit/shutdown smoke"
 go test -race -count=1 -run 'TestServeSmoke' ./cmd/dbre
 
@@ -47,7 +50,7 @@ go test -race -count=1 ./internal/storage/...
 echo "==> allocation regressions (explicit, without -race instrumentation)"
 go test -run 'TestAlloc' ./internal/stats ./internal/obs ./internal/table
 
-echo "==> perf gate: B9/B12/B13/B14/B15/B16 vs checked-in baselines"
+echo "==> perf gate: B9/B12/B13/B14/B15/B16/B17 vs checked-in baselines"
 ./scripts/perfgate.sh
 
 echo "==> fuzz smoke: FuzzLoadSQL (${FUZZTIME})"

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Performance gate: re-run the gated experiments (B9 statistics cache,
 # B12 kernel overhaul, B13 parallel batched ingest, B14 sketch triage
-# tier, B15 snapshot persistence, B16 incremental re-validation) and
-# compare their -json metrics against the checked-in
+# tier, B15 snapshot persistence, B16 incremental re-validation, B17
+# resident dataset pool) and compare their -json metrics against the checked-in
 # BENCH_<id>.json baselines via cmd/perfgate — wall-time metrics within
 # a generous multiplicative tolerance (CI machines differ; regressions
 # we care about are step changes, not jitter), allocation metrics as
@@ -20,7 +20,7 @@ TOLERANCE="${TOLERANCE:-2.0}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-for id in B9 B12 B13 B14 B15 B16; do
+for id in B9 B12 B13 B14 B15 B16 B17; do
   echo "==> bench -run ${id}"
   go run ./cmd/bench -run "${id}" -json "$tmp"
 
